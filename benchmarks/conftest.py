@@ -1,0 +1,9 @@
+"""Pytest configuration for the benchmark harness."""
+
+import os
+import sys
+
+# Make bench_helpers and the tests package importable regardless of the
+# directory pytest is invoked from.
+sys.path.insert(0, os.path.dirname(__file__))
+sys.path.insert(0, os.path.dirname(os.path.dirname(__file__)))

@@ -1,0 +1,102 @@
+"""Ablation benchmarks for the design choices called out in DESIGN.md.
+
+* decomposition strategy: 1D vs 2D vs 3D slicing (communication volume and
+  real distributed execution on the simulated runtime);
+* redundant-swap elimination on/off (number of halo exchanges executed);
+* loop tiling on/off in the CPU lowering;
+* stencil fusion on/off (number of OpenMP regions).
+"""
+
+import numpy as np
+import pytest
+
+from bench_helpers import attach_rows
+from repro.core import Target, TargetKind, compile_stencil_program, dmp_target, run_distributed
+from repro.transforms.distribute import GridSlicingStrategy, communicated_elements_per_step
+from repro.workloads import heat_diffusion, pw_advection
+from repro.machine import characterize_module
+from repro.transforms.stencil import fuse_applies, infer_shapes
+
+
+@pytest.mark.benchmark(group="ablation-decomposition")
+@pytest.mark.parametrize("grid", [(4,), (2, 2)], ids=["1d-slabs", "2d-blocks"])
+def test_decomposition_strategy(benchmark, grid):
+    """1D slab vs 2D block decomposition of the same 2D heat problem."""
+    workload = heat_diffusion((16, 16), space_order=2, dtype=np.float64)
+    module = workload.operator(backend="xdsl").stencil_module(dt=workload.dt)
+    program = compile_stencil_program(module, dmp_target(grid))
+
+    def run():
+        u0 = np.zeros((18, 18))
+        u0[8:10, 8:10] = 1.0
+        u1 = u0.copy()
+        return run_distributed(program, [u0, u1], [2])
+
+    result = benchmark(run)
+    halo = communicated_elements_per_step(GridSlicingStrategy(grid), (16, 16), (1, 1), (1, 1))
+    benchmark.extra_info["halo_elements_per_swap"] = halo
+    assert result.messages_sent > 0
+
+
+@pytest.mark.benchmark(group="ablation-swap-elimination")
+@pytest.mark.parametrize("eliminate", [True, False], ids=["with-elimination", "without"])
+def test_redundant_swap_elimination(benchmark, eliminate):
+    """Effect of the redundant-swap elimination pass on exchange counts."""
+    from repro.transforms.distribute import distribute_stencil, eliminate_redundant_swaps
+    from repro.dialects.dmp import SwapOp
+    from tests.conftest import build_jacobi_module
+
+    def compile_and_count():
+        module = build_jacobi_module()
+        distribute_stencil(module, GridSlicingStrategy([2]))
+        # Duplicate the swap to emulate a frontend inserting one per load of
+        # the same buffer.
+        for swap in [op for op in module.walk() if isinstance(op, SwapOp)]:
+            swap.parent_block.insert_op_after(swap.clone(), swap)
+        if eliminate:
+            eliminate_redundant_swaps(module)
+        return sum(1 for op in module.walk() if isinstance(op, SwapOp))
+
+    swaps = benchmark(compile_and_count)
+    benchmark.extra_info["swaps_per_step"] = swaps
+    assert swaps == (1 if eliminate else 2)
+
+
+@pytest.mark.benchmark(group="ablation-tiling")
+@pytest.mark.parametrize("tiles", [None, (4, 4)], ids=["untiled", "tiled"])
+def test_loop_tiling(benchmark, tiles):
+    """CPU lowering with and without loop tiling (locality optimisation)."""
+    workload = heat_diffusion((20, 20), space_order=2, dtype=np.float64)
+
+    def run():
+        module = workload.operator(backend="xdsl").stencil_module(dt=workload.dt)
+        target = Target(kind=TargetKind.CPU_SEQUENTIAL, tile_sizes=tiles)
+        program = compile_stencil_program(module, target)
+        u0 = np.zeros((22, 22))
+        u0[10, 10] = 1.0
+        u1 = u0.copy()
+        from repro.core import run_local
+
+        run_local(program, [u0, u1, 2])
+        return u0
+
+    data = benchmark(run)
+    assert np.isfinite(data).all()
+
+
+@pytest.mark.benchmark(group="ablation-fusion")
+@pytest.mark.parametrize("fuse", [True, False], ids=["fused", "unfused"])
+def test_stencil_fusion(benchmark, fuse):
+    """PW advection with and without stencil fusion (regions == OpenMP regions)."""
+    workload = pw_advection((12, 12, 6), iterations=1)
+
+    def compile_and_count():
+        module = workload.build_module(dtype=np.float64)
+        infer_shapes(module)
+        if fuse:
+            fuse_applies(module)
+        return characterize_module(module).stencil_regions
+
+    regions = benchmark(compile_and_count)
+    benchmark.extra_info["stencil_regions"] = regions
+    assert regions == (1 if fuse else 3)

@@ -1,0 +1,46 @@
+"""Figure 7: Devito vs xDSL-Devito heat/wave kernels on one ARCHER2 node.
+
+Regenerates both panels (7a heat, 7b acoustic wave) for 2D/3D and space orders
+2/4/8, and additionally times a small real execution of the heat kernel
+through the shared stack so the benchmark exercises compilation + execution,
+not only the analytic model.
+"""
+
+import numpy as np
+import pytest
+
+from bench_helpers import attach_rows
+from repro.evaluation import figure7_devito_cpu
+from repro.workloads import heat_diffusion
+
+
+@pytest.mark.benchmark(group="figure7")
+def test_figure7_heat_rows(benchmark):
+    rows = benchmark(figure7_devito_cpu, ("heat",))
+    attach_rows(benchmark, "figure7a", rows)
+    by_kernel = {r["kernel"]: r["speedup_xdsl_over_devito"] for r in rows}
+    assert by_kernel["heat2d-5pt"] > 1.0
+    assert by_kernel["heat3d-13pt"] < 1.0
+
+
+@pytest.mark.benchmark(group="figure7")
+def test_figure7_wave_rows(benchmark):
+    rows = benchmark(figure7_devito_cpu, ("wave",))
+    attach_rows(benchmark, "figure7b", rows)
+    assert any(r["speedup_xdsl_over_devito"] > 1.0 for r in rows)
+    assert any(r["speedup_xdsl_over_devito"] < 1.0 for r in rows)
+
+
+@pytest.mark.benchmark(group="figure7-execution")
+@pytest.mark.parametrize("space_order", [2, 4, 8])
+def test_heat2d_shared_stack_execution(benchmark, space_order):
+    """Compile + execute a small heat kernel through the shared stack."""
+
+    def run():
+        workload = heat_diffusion((24, 24), space_order=space_order, dtype=np.float64)
+        workload.initialise()
+        workload.operator(backend="xdsl").apply(time=2, dt=workload.dt)
+        return workload.function.data
+
+    data = benchmark(run)
+    assert np.isfinite(data).all()

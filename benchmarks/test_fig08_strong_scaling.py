@@ -1,0 +1,46 @@
+"""Figure 8: strong scaling of 3D so4 heat/wave kernels to 128 ARCHER2 nodes.
+
+The scaling curves come from the alpha-beta + roofline model; a small real
+distributed execution on the simulated MPI runtime is benchmarked alongside so
+the halo-exchange machinery itself is exercised.
+"""
+
+import numpy as np
+import pytest
+
+from bench_helpers import attach_rows
+from repro.core import compile_stencil_program, dmp_target, run_distributed
+from repro.evaluation import figure8_strong_scaling
+from repro.workloads import heat_diffusion
+
+
+@pytest.mark.benchmark(group="figure8")
+def test_figure8_scaling_rows(benchmark):
+    rows = benchmark(figure8_strong_scaling, (1, 2, 4, 8, 16, 32, 64, 128))
+    attach_rows(benchmark, "figure8", rows)
+    for stack in ("devito", "xdsl"):
+        series = [r for r in rows if r["stack"] == stack and r["figure"] == "8a"]
+        throughputs = [r["gpts"] for r in series]
+        assert all(b > a for a, b in zip(throughputs, throughputs[1:]))
+    devito_128 = next(r for r in rows if r["stack"] == "devito" and r["nodes"] == 128 and r["figure"] == "8a")
+    xdsl_128 = next(r for r in rows if r["stack"] == "xdsl" and r["nodes"] == 128 and r["figure"] == "8a")
+    assert devito_128["parallel_efficiency"] >= xdsl_128["parallel_efficiency"]
+
+
+@pytest.mark.benchmark(group="figure8-execution")
+@pytest.mark.parametrize("ranks", [(2, 2), (4, 2)], ids=["4ranks", "8ranks"])
+def test_distributed_heat_execution(benchmark, ranks):
+    """Real distributed execution (simulated MPI) of a small 2D heat problem."""
+    workload = heat_diffusion((16, 16), space_order=2, dtype=np.float64)
+    module = workload.operator(backend="xdsl").stencil_module(dt=workload.dt)
+    program = compile_stencil_program(module, dmp_target(ranks))
+
+    def run():
+        u0 = np.zeros((18, 18))
+        u0[8:10, 8:10] = 1.0
+        u1 = u0.copy()
+        result = run_distributed(program, [u0, u1], [2])
+        return result
+
+    result = benchmark(run)
+    assert result.messages_sent > 0

@@ -1,0 +1,38 @@
+"""Figure 9: heat/wave kernels on a V100 — OpenACC-Devito vs the xDSL CUDA path."""
+
+import numpy as np
+import pytest
+
+from bench_helpers import attach_rows
+from repro.core import compile_stencil_program, gpu_target, run_local
+from repro.evaluation import figure9_devito_gpu
+from repro.workloads import heat_diffusion
+
+
+@pytest.mark.benchmark(group="figure9")
+def test_figure9_rows(benchmark):
+    rows = benchmark(figure9_devito_gpu)
+    attach_rows(benchmark, "figure9", rows)
+    three_d = [r for r in rows if r["ndim"] == 3]
+    assert all(r["speedup_xdsl_over_openacc"] > 1.3 for r in three_d)
+    two_d = [r for r in rows if r["ndim"] == 2]
+    assert all(r["speedup_xdsl_over_openacc"] <= 1.3 for r in two_d)
+
+
+@pytest.mark.benchmark(group="figure9-execution")
+def test_gpu_lowered_execution(benchmark):
+    """Compile for the GPU target and execute the (simulated) kernel launches."""
+    workload = heat_diffusion((16, 16), space_order=2, dtype=np.float64)
+    module = workload.operator(backend="xdsl").stencil_module(dt=workload.dt)
+    program = compile_stencil_program(module, gpu_target())
+    assert program.gpu_kernels == 1
+
+    def run():
+        u0 = np.zeros((18, 18))
+        u0[8, 8] = 1.0
+        u1 = u0.copy()
+        return run_local(program, [u0, u1, 2])
+
+    result = benchmark(run)
+    assert result.statistics[0].kernel_launches == 2
+    assert result.statistics[0].host_synchronizations == 2

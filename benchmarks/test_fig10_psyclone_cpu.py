@@ -1,0 +1,43 @@
+"""Figure 10a: PSyclone benchmarks on one ARCHER2 node (Cray vs xDSL vs GNU)."""
+
+import numpy as np
+import pytest
+
+from bench_helpers import attach_rows
+from repro.core import compile_stencil_program, cpu_target, run_local
+from repro.evaluation import figure10a_psyclone_cpu
+from repro.workloads import pw_advection, tracer_advection
+
+
+@pytest.mark.benchmark(group="figure10a")
+def test_figure10a_rows(benchmark):
+    rows = benchmark(figure10a_psyclone_cpu)
+    attach_rows(benchmark, "figure10a", rows)
+    pw = [r for r in rows if r["benchmark"].startswith("pw")]
+    assert all(r["xdsl_gpts"] > r["cray_gpts"] > r["gnu_gpts"] for r in pw)
+    traadv_small = next(r for r in rows if r["benchmark"] == "traadv-4m")
+    assert traadv_small["xdsl_gpts"] < traadv_small["cray_gpts"]
+
+
+@pytest.mark.benchmark(group="figure10a-execution")
+@pytest.mark.parametrize(
+    "workload_factory",
+    [lambda: pw_advection((12, 12, 6), iterations=2),
+     lambda: tracer_advection((8, 8, 4), iterations=2, computations=8)],
+    ids=["pw", "traadv"],
+)
+def test_psyclone_kernel_execution(benchmark, workload_factory):
+    """Compile a PSyclone benchmark through the shared stack and execute it."""
+    workload = workload_factory()
+    schedule = workload.schedule
+    module = workload.build_module(dtype=np.float64)
+    program = compile_stencil_program(module, cpu_target())
+
+    def run():
+        arrays = workload.arrays(dtype=np.float64)
+        ordered = [arrays[name] for name in schedule.array_names()]
+        run_local(program, [*ordered, workload.iterations], function=schedule.name)
+        return arrays
+
+    arrays = benchmark(run)
+    assert all(np.isfinite(a).all() for a in arrays.values())

@@ -1,0 +1,18 @@
+"""Figure 10b: PSyclone benchmarks on a V100 (managed-memory PSyclone vs xDSL CUDA)."""
+
+import pytest
+
+from bench_helpers import attach_rows
+from repro.evaluation import figure10b_psyclone_gpu
+
+
+@pytest.mark.benchmark(group="figure10b")
+def test_figure10b_rows(benchmark):
+    rows = benchmark(figure10b_psyclone_gpu)
+    attach_rows(benchmark, "figure10b", rows)
+    pw = [r for r in rows if r["benchmark"].startswith("pw")]
+    # Managed-memory page faults make PSyclone far slower on PW advection.
+    assert all(r["speedup_xdsl_over_psyclone"] > 5 for r in pw)
+    # Synchronous kernel launches penalise xDSL on small tracer advection.
+    traadv_small = next(r for r in rows if r["benchmark"] == "traadv-4m")
+    assert traadv_small["speedup_xdsl_over_psyclone"] < 1.0

@@ -1,0 +1,18 @@
+"""Figure 11: strong scaling of xDSL-PSyclone (PW and tracer advection, 2D decomposition)."""
+
+import pytest
+
+from bench_helpers import attach_rows
+from repro.evaluation import figure11_psyclone_scaling
+
+
+@pytest.mark.benchmark(group="figure11")
+def test_figure11_rows(benchmark):
+    rows = benchmark(figure11_psyclone_scaling, (1, 2, 4, 8, 16, 32, 64, 128))
+    attach_rows(benchmark, "figure11", rows)
+    for name in ("pw", "traadv"):
+        series = [r for r in rows if r["benchmark"] == name]
+        throughputs = [r["gpts"] for r in series]
+        # Monotone growth but far from ideal at 128 nodes (small global problem).
+        assert all(b >= a for a, b in zip(throughputs, throughputs[1:]))
+        assert throughputs[-1] / throughputs[0] < 128 * 0.5

@@ -1,0 +1,34 @@
+"""Table 1: FPGA (Alveo U280) throughput, initial vs dataflow-optimised kernels."""
+
+import numpy as np
+import pytest
+
+from bench_helpers import attach_rows
+from repro.core import compile_stencil_program, cpu_target, fpga_target
+from repro.evaluation import table1_fpga
+from repro.workloads import pw_advection
+
+
+@pytest.mark.benchmark(group="table1")
+def test_table1_rows(benchmark):
+    rows = benchmark(table1_fpga)
+    attach_rows(benchmark, "table1", rows)
+    for row in rows:
+        assert row["improvement"] > 50
+    pw = next(r for r in rows if r["benchmark"] == "pw-134m")
+    assert 0.05 < pw["optimized_gpts"] < 0.5
+
+
+@pytest.mark.benchmark(group="table1-compilation")
+@pytest.mark.parametrize("optimize", [False, True], ids=["initial", "optimized"])
+def test_hls_compilation(benchmark, optimize):
+    """Time the HLS lowering itself (dataflow restructuring + shift buffer)."""
+    workload = pw_advection((12, 12, 6), iterations=1)
+
+    def compile_for_fpga():
+        module = workload.build_module(dtype=np.float64)
+        return compile_stencil_program(module, fpga_target(optimize=optimize))
+
+    program = benchmark(compile_for_fpga)
+    assert len(program.hls_kernels) >= 1
+    assert all(k.pipelined == optimize for k in program.hls_kernels)

@@ -1,0 +1,51 @@
+"""Distributed acoustic wave propagation over simulated MPI ranks.
+
+Compiles the isotropic acoustic wave equation for a 2x2 rank grid: the shared
+pipeline decomposes the domain (global-to-local pass), inserts dmp.swap halo
+exchanges, lowers them all the way to MPI calls, and the program then runs on
+the in-process simulated MPI runtime — one thread per rank.  The distributed
+result is checked against a single-rank run.
+
+Run with:  python examples/distributed_wave.py
+"""
+
+import numpy as np
+
+from repro.core import dmp_target
+from repro.frontends.devito import Eq, Grid, Operator, TimeFunction, solve
+
+SHAPE = (32, 32)
+TIMESTEPS = 8
+
+
+def simulate(target=None) -> np.ndarray:
+    grid = Grid(shape=SHAPE, extent=(1.0, 1.0))
+    u = TimeFunction(name="u", grid=grid, space_order=4, time_order=2, dtype=np.float64)
+    u.data[0][16, 16] = 1.0   # point source
+    u.data[1][:] = u.data[0]
+
+    wave_equation = Eq(u.dt2, 1.5 ** 2 * u.laplace)
+    update = Eq(u.forward, solve(wave_equation, u.forward))
+    kwargs = {"backend": "xdsl"}
+    if target is not None:
+        kwargs["target"] = target
+    op = Operator([update], **kwargs)
+    op.apply(time=TIMESTEPS, dt=5e-3)
+    return np.array(u.data[Operator.buffer_holding_time(u, TIMESTEPS)])
+
+
+def main() -> None:
+    single_rank = simulate()
+    # 4 MPI ranks in a 2x2 Cartesian grid, halo exchanges lowered to MPI_Isend/
+    # MPI_Irecv/MPI_Waitall with mpich magic constants.
+    distributed = simulate(dmp_target((2, 2), lower_to_library_calls=True))
+
+    error = np.abs(single_rank - distributed).max()
+    print(f"4-rank distributed vs single-rank result: max |difference| = {error:.3e}")
+    assert error < 1e-10, "domain decomposition must not change the result"
+    print(f"wavefront peak after {TIMESTEPS} steps: {distributed.max():.4f}")
+    print("distributed execution matches the single-rank reference.")
+
+
+if __name__ == "__main__":
+    main()

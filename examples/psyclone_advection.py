@@ -1,0 +1,75 @@
+"""PSyclone-style Fortran kernel through the shared stack (paper §5.2, §6.2).
+
+Takes the Piacsek-Williams advection kernel as Fortran source, parses it into
+PSy-IR, extracts the stencils, compiles them through the shared stencil stack,
+executes the result, and compares against the reference Fortran semantics.
+Also prints the modelled throughputs of fig. 10a and Table 1 for this kernel.
+
+Run with:  python examples/psyclone_advection.py
+"""
+
+import numpy as np
+
+from repro.frontends.psyclone import parse_fortran, reference_execute
+from repro.interp import Interpreter
+from repro.machine import (
+    ALVEO_U280,
+    ARCHER2_NODE,
+    CRAY_PSYCLONE,
+    GNU_PSYCLONE,
+    XDSL_PSYCLONE,
+    characterize_module,
+    estimate_cpu_node,
+    estimate_fpga,
+)
+from repro.transforms.stencil import fuse_applies, infer_shapes
+from repro.workloads import pw_advection
+
+SHAPE = (16, 16, 8)
+
+
+def main() -> None:
+    workload = pw_advection(shape=SHAPE, iterations=2)
+    schedule = parse_fortran(workload.source)
+    print(f"subroutine {schedule.name}: arrays {schedule.array_names()}")
+
+    # Compile through the shared stack and execute.
+    module = workload.build_module(dtype=np.float64)
+    arrays = workload.arrays(dtype=np.float64)
+    reference = {name: array.copy() for name, array in arrays.items()}
+
+    Interpreter(module).call(
+        schedule.name, *[arrays[name] for name in schedule.array_names()], workload.iterations
+    )
+    reference_execute(schedule, reference, halo=1, iterations=workload.iterations)
+    error = max(np.abs(reference[name] - arrays[name]).max() for name in arrays)
+    print(f"shared-stack vs reference Fortran semantics: max |difference| = {error:.3e}")
+    assert error < 1e-10
+
+    # Stencil fusion: the three independent PW stencils become one region.
+    infer_shapes(module)
+    fused = fuse_applies(module)
+    characteristics = characterize_module(module)
+    print(f"fused stencil groups: {fused}; regions after fusion: "
+          f"{characteristics.stencil_regions}")
+
+    # Modelled single-node CPU throughput (fig. 10a, pw-134m sizing).
+    from repro.evaluation.experiments import _psyclone_characteristics
+
+    paper_chars = _psyclone_characteristics("pw", (1024, 512, 256))
+    print("\nmodelled ARCHER2 throughput (pw-134m):")
+    for profile in (CRAY_PSYCLONE, XDSL_PSYCLONE, GNU_PSYCLONE):
+        estimate = estimate_cpu_node(paper_chars, 1, ARCHER2_NODE, profile)
+        print(f"  {profile.name:<15}: {estimate.gpoints_per_second:5.2f} GPts/s")
+
+    # Modelled FPGA throughput (Table 1).
+    initial = estimate_fpga(paper_chars, 1, ALVEO_U280, optimized=False)
+    optimized = estimate_fpga(paper_chars, 1, ALVEO_U280, optimized=True)
+    print("\nmodelled Alveo U280 throughput (pw-134m):")
+    print(f"  initial   : {initial.gpoints_per_second:.2e} GPts/s")
+    print(f"  optimized : {optimized.gpoints_per_second:.2e} GPts/s "
+          f"({optimized.gpoints_per_second / initial.gpoints_per_second:.0f}x)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,21 @@
+"""Setuptools entry point.
+
+The pyproject.toml metadata is authoritative; this file exists so that
+``pip install -e .`` works in offline environments that lack the ``wheel``
+package needed by PEP 517 editable installs.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="0.1.0",
+    description=(
+        "Reproduction of 'A shared compilation stack for distributed-memory "
+        "parallelism in stencil DSLs' (ASPLOS 2024)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=["numpy"],
+)

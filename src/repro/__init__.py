@@ -1,0 +1,21 @@
+"""repro: a reproduction of "A shared compilation stack for distributed-memory
+parallelism in stencil DSLs" (ASPLOS 2024).
+
+Package layout:
+
+* :mod:`repro.ir` — the SSA+Regions IR core (the xDSL-like substrate).
+* :mod:`repro.dialects` — builtin/arith/func/scf/memref/omp/gpu/hls plus the
+  paper's stencil, dmp and mpi dialects.
+* :mod:`repro.transforms` — optimisations and lowerings (stencil->loops,
+  global-to-local decomposition, dmp->mpi, mpi->library calls, scf->OpenMP...).
+* :mod:`repro.interp` — the IR interpreter and the simulated MPI runtime.
+* :mod:`repro.machine` — performance models of ARCHER2, Slingshot, V100, U280.
+* :mod:`repro.frontends` — miniature Devito, PSyclone and OEC-style frontends.
+* :mod:`repro.core` — targets, the shared pipeline and executors.
+* :mod:`repro.workloads` / :mod:`repro.evaluation` — the paper's benchmarks and
+  the harness regenerating its tables and figures.
+"""
+
+__version__ = "0.1.0"
+
+__all__ = ["__version__"]

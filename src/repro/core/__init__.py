@@ -1,0 +1,36 @@
+"""The shared compilation stack: targets, pipeline and executors.
+
+This is the paper's primary contribution packaged behind a small API::
+
+    from repro.core import compile_stencil_program, dmp_target, run_distributed
+
+    program = compile_stencil_program(stencil_module, dmp_target((2, 2)))
+    run_distributed(program, [u0, u1], [timesteps])
+"""
+
+from .executor import (
+    ExecutionError,
+    ExecutionResult,
+    gather_field,
+    run_distributed,
+    run_local,
+    scatter_field,
+)
+from .pipeline import CompilationError, CompiledProgram, compile_stencil_program
+from .targets import (
+    Target,
+    TargetKind,
+    cpu_target,
+    dmp_target,
+    fpga_target,
+    gpu_target,
+    smp_target,
+)
+
+__all__ = [
+    "Target", "TargetKind",
+    "cpu_target", "smp_target", "dmp_target", "gpu_target", "fpga_target",
+    "CompiledProgram", "compile_stencil_program", "CompilationError",
+    "run_local", "run_distributed", "scatter_field", "gather_field",
+    "ExecutionResult", "ExecutionError",
+]

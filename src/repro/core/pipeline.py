@@ -1,0 +1,138 @@
+"""The shared compilation pipeline.
+
+``compile_stencil_program`` is the entry point every frontend uses: it takes a
+*stencil-level* module (the common abstraction of fig. 1b) and a
+:class:`~repro.core.targets.Target`, and progressively lowers it:
+
+    stencil  ->  [dmp]  ->  [mpi]  ->  scf/memref/arith (+ omp / gpu / hls)
+
+returning a :class:`CompiledProgram` that carries the lowered module, the
+characteristics used by the performance models, and (for distributed targets)
+the decomposition summary needed to scatter/gather data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..dialects.builtin import ModuleOp
+from ..ir.context import MLContext, default_context
+from ..machine.kernel_model import ProgramCharacteristics, characterize_module
+from ..transforms.common import canonicalize, hoist_loop_invariant_code
+from ..transforms.distribute import (
+    GridSlicingStrategy,
+    distribute_stencil,
+    eliminate_redundant_swaps,
+    lower_dmp_to_mpi,
+)
+from ..transforms.distribute.stencil_to_dmp import DistributionSummary
+from ..transforms.mpi import lower_mpi_to_func
+from ..transforms.smp import convert_scf_to_openmp, count_parallel_regions
+from ..transforms.stencil import (
+    HLSKernelInfo,
+    count_gpu_kernels,
+    fuse_applies,
+    infer_shapes,
+    lower_stencil_to_gpu,
+    lower_stencil_to_hls,
+    lower_stencil_to_scf,
+)
+from .targets import Target, TargetKind
+
+
+class CompilationError(Exception):
+    """Raised when a stencil program cannot be compiled for the given target."""
+
+
+@dataclass
+class CompiledProgram:
+    """The result of running the shared pipeline on a stencil program."""
+
+    module: ModuleOp
+    target: Target
+    #: Characteristics measured on the stencil-level module (before lowering).
+    characteristics: ProgramCharacteristics
+    #: Number of stencil regions after fusion (== OpenMP regions / GPU kernels).
+    stencil_regions: int
+    #: Decomposition information for distributed targets.
+    distribution: Optional[DistributionSummary] = None
+    #: Structural summary of the HLS lowering for FPGA targets.
+    hls_kernels: list[HLSKernelInfo] = field(default_factory=list)
+    #: OpenMP parallel regions in the lowered module (smp/dmp targets).
+    parallel_regions: int = 0
+    #: GPU kernels in the lowered module (gpu target).
+    gpu_kernels: int = 0
+
+    @property
+    def function_names(self) -> list[str]:
+        from ..dialects import func
+
+        return [
+            op.sym_name
+            for op in self.module.walk()
+            if isinstance(op, func.FuncOp) and not op.is_declaration
+        ]
+
+
+def compile_stencil_program(
+    module: ModuleOp,
+    target: Target,
+    *,
+    ctx: Optional[MLContext] = None,
+) -> CompiledProgram:
+    """Lower a stencil-level module for ``target`` (in place) and describe it."""
+    ctx = ctx or default_context()
+    module.verify()
+
+    # Stencil-level preparation shared by every target.
+    infer_shapes(module)
+    if target.fuse_stencils:
+        fuse_applies(module)
+    canonicalize(module)
+    characteristics = characterize_module(module)
+    stencil_regions = characteristics.stencil_regions
+
+    distribution: Optional[DistributionSummary] = None
+    hls_kernels: list[HLSKernelInfo] = []
+    parallel_regions = 0
+    gpu_kernels = 0
+
+    if target.is_distributed:
+        assert target.rank_grid is not None
+        strategy = GridSlicingStrategy(target.rank_grid)
+        distribution = distribute_stencil(module, strategy)
+        eliminate_redundant_swaps(module)
+
+    if target.kind == TargetKind.FPGA:
+        hls_kernels = lower_stencil_to_hls(module, optimize=target.fpga_optimize)
+        lower_stencil_to_scf(module)
+    elif target.kind == TargetKind.GPU:
+        gpu_kernels = lower_stencil_to_gpu(module)
+    else:
+        lower_stencil_to_scf(module, tile_sizes=target.tile_sizes)
+
+    if target.is_distributed and target.lower_to_library_calls:
+        lower_dmp_to_mpi(module)
+        lower_mpi_to_func(module)
+
+    if target.kind in (TargetKind.CPU_OPENMP, TargetKind.DISTRIBUTED):
+        convert_scf_to_openmp(module, num_threads=target.threads)
+        parallel_regions = count_parallel_regions(module)
+    if target.kind == TargetKind.GPU:
+        gpu_kernels = count_gpu_kernels(module)
+
+    hoist_loop_invariant_code(module)
+    canonicalize(module)
+    module.verify()
+
+    return CompiledProgram(
+        module=module,
+        target=target,
+        characteristics=characteristics,
+        stencil_regions=stencil_regions,
+        distribution=distribution,
+        hls_kernels=hls_kernels,
+        parallel_regions=parallel_regions,
+        gpu_kernels=gpu_kernels,
+    )

@@ -1,0 +1,5 @@
+"""DSL frontends sharing the compilation stack (Devito, PSyclone, OEC-style)."""
+
+from . import devito, oec, psyclone
+
+__all__ = ["devito", "psyclone", "oec"]

@@ -1,0 +1,26 @@
+"""A miniature Devito: symbolic finite-difference DSL on the shared stack."""
+
+from .operator import Operator, OperatorError
+from .symbolic import (
+    Access,
+    BinOp,
+    Constant,
+    Dimension,
+    Eq,
+    Expr,
+    Function,
+    Grid,
+    Scalar,
+    SolveError,
+    Symbol,
+    TimeFunction,
+    central_difference_coefficients,
+    solve,
+)
+
+__all__ = [
+    "Grid", "Dimension", "Function", "TimeFunction", "Constant",
+    "Expr", "Scalar", "Symbol", "Access", "BinOp", "Eq", "solve", "SolveError",
+    "central_difference_coefficients",
+    "Operator", "OperatorError",
+]

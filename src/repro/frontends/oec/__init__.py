@@ -1,0 +1,12 @@
+"""An Open-Earth-Compiler-style programmatic stencil frontend."""
+
+from .builder import (
+    BuilderError,
+    FieldHandle,
+    StencilExpressionBuilder,
+    StencilProgramBuilder,
+)
+
+__all__ = [
+    "StencilProgramBuilder", "StencilExpressionBuilder", "FieldHandle", "BuilderError",
+]

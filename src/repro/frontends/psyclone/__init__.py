@@ -1,0 +1,30 @@
+"""A miniature PSyclone: Fortran kernels -> PSy-IR -> the shared stencil stack."""
+
+from .backend import (
+    ExtractedStencil,
+    PsycloneXDSLBackend,
+    StencilExtractionError,
+    extract_stencils,
+)
+from .fortran_parser import FortranParseError, parse_fortran
+from .psyir import (
+    ArrayReference,
+    Assignment,
+    BinaryOperation,
+    IndexExpression,
+    Literal,
+    Loop,
+    Reference,
+    Schedule,
+    UnaryOperation,
+    reference_execute,
+)
+
+__all__ = [
+    "parse_fortran", "FortranParseError",
+    "Schedule", "Loop", "Assignment", "ArrayReference", "IndexExpression",
+    "BinaryOperation", "UnaryOperation", "Literal", "Reference",
+    "reference_execute",
+    "extract_stencils", "ExtractedStencil", "StencilExtractionError",
+    "PsycloneXDSLBackend",
+]

@@ -1,0 +1,232 @@
+"""Parser for the Fortran subset the mini-PSyclone frontend accepts.
+
+PSyclone's real frontend parses full Fortran; the NEMO-API benchmarks used in
+the paper are kernels of the shape::
+
+    subroutine pw_advection(u, v, w, su)
+      do k = 1, nz
+        do j = 1, ny
+          do i = 1, nx
+            su(i, j, k) = 0.5 * (u(i+1, j, k) - u(i-1, j, k)) + 0.25 * v(i, j, k)
+          end do
+        end do
+      end do
+    end subroutine
+
+This parser supports exactly that shape: a subroutine with an argument list,
+(nested) ``do`` loops, assignments whose left-hand side is an array element,
+and right-hand sides made of array references with ``index +/- constant``
+subscripts, scalar references, numeric literals, parentheses and ``+ - * /``.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Optional
+
+from .psyir import (
+    ArrayReference,
+    Assignment,
+    BinaryOperation,
+    IndexExpression,
+    Literal,
+    Loop,
+    Reference,
+    Schedule,
+    UnaryOperation,
+)
+
+
+class FortranParseError(Exception):
+    """Raised on Fortran text the subset parser does not understand."""
+
+
+_SUBROUTINE_RE = re.compile(r"^\s*subroutine\s+(\w+)\s*\(([^)]*)\)\s*$", re.IGNORECASE)
+_END_SUBROUTINE_RE = re.compile(r"^\s*end\s*subroutine\b.*$", re.IGNORECASE)
+_DO_RE = re.compile(r"^\s*do\s+(\w+)\s*=\s*([^,]+),\s*(.+?)\s*$", re.IGNORECASE)
+_END_DO_RE = re.compile(r"^\s*end\s*do\s*$", re.IGNORECASE)
+_DECLARATION_RE = re.compile(
+    r"^\s*(real|integer|implicit|intent|dimension|use|parameter)\b", re.IGNORECASE
+)
+
+
+def parse_fortran(source: str) -> Schedule:
+    """Parse one subroutine into a PSy-IR schedule."""
+    lines = [_strip_comment(line) for line in source.splitlines()]
+    lines = [line for line in lines if line.strip()]
+    if not lines:
+        raise FortranParseError("empty Fortran source")
+
+    header = _SUBROUTINE_RE.match(lines[0])
+    if header is None:
+        raise FortranParseError("source must start with 'subroutine name(args)'")
+    name = header.group(1)
+    arguments = [arg.strip() for arg in header.group(2).split(",") if arg.strip()]
+    schedule = Schedule(name=name, arguments=arguments)
+
+    stack: list[list] = [schedule.body]
+    for line in lines[1:]:
+        if _END_SUBROUTINE_RE.match(line):
+            break
+        if _DECLARATION_RE.match(line):
+            continue
+        do_match = _DO_RE.match(line)
+        if do_match:
+            loop = Loop(
+                variable=do_match.group(1),
+                start=_parse_scalar_expression(do_match.group(2).strip()),
+                stop=_parse_scalar_expression(do_match.group(3).strip()),
+            )
+            stack[-1].append(loop)
+            stack.append(loop.body)
+            continue
+        if _END_DO_RE.match(line):
+            if len(stack) == 1:
+                raise FortranParseError("'end do' without a matching 'do'")
+            stack.pop()
+            continue
+        if "=" in line:
+            stack[-1].append(_parse_assignment(line))
+            continue
+        raise FortranParseError(f"cannot parse line: {line.strip()!r}")
+    if len(stack) != 1:
+        raise FortranParseError("unterminated 'do' loop")
+    return schedule
+
+
+def _strip_comment(line: str) -> str:
+    position = line.find("!")
+    return line if position < 0 else line[:position]
+
+
+def _parse_scalar_expression(text: str):
+    text = text.strip()
+    if re.fullmatch(r"-?\d+", text):
+        return Literal(float(text))
+    return Reference(text)
+
+
+def _parse_assignment(line: str) -> Assignment:
+    lhs_text, rhs_text = line.split("=", 1)
+    lhs = _ExpressionParser(lhs_text.strip()).parse()
+    if not isinstance(lhs, ArrayReference):
+        raise FortranParseError(
+            f"assignment target must be an array element, got {lhs_text.strip()!r}"
+        )
+    rhs = _ExpressionParser(rhs_text.strip()).parse()
+    return Assignment(lhs=lhs, rhs=rhs)
+
+
+_TOKEN_RE = re.compile(
+    r"\s*(?:(?P<number>\d+\.\d*(?:[eE][-+]?\d+)?|\.\d+|\d+(?:[eE][-+]?\d+)?)"
+    r"|(?P<name>[A-Za-z_]\w*)"
+    r"|(?P<op>\*\*|[-+*/(),]))"
+)
+
+
+class _ExpressionParser:
+    """Recursive-descent parser for right-hand-side expressions."""
+
+    def __init__(self, text: str):
+        self.text = text
+        self.tokens = self._tokenize(text)
+        self.position = 0
+
+    def _tokenize(self, text: str) -> list[tuple[str, str]]:
+        tokens = []
+        position = 0
+        while position < len(text):
+            match = _TOKEN_RE.match(text, position)
+            if match is None or match.end() == position:
+                raise FortranParseError(f"cannot tokenise expression: {text[position:]!r}")
+            if match.group("number") is not None:
+                tokens.append(("number", match.group("number")))
+            elif match.group("name") is not None:
+                tokens.append(("name", match.group("name")))
+            else:
+                tokens.append(("op", match.group("op")))
+            position = match.end()
+        return tokens
+
+    def _peek(self) -> Optional[tuple[str, str]]:
+        return self.tokens[self.position] if self.position < len(self.tokens) else None
+
+    def _next(self) -> tuple[str, str]:
+        token = self._peek()
+        if token is None:
+            raise FortranParseError(f"unexpected end of expression in {self.text!r}")
+        self.position += 1
+        return token
+
+    def _expect_op(self, op: str) -> None:
+        token = self._next()
+        if token != ("op", op):
+            raise FortranParseError(f"expected {op!r} in {self.text!r}, found {token[1]!r}")
+
+    def parse(self):
+        expr = self._parse_additive()
+        if self._peek() is not None:
+            raise FortranParseError(f"trailing tokens in expression {self.text!r}")
+        return expr
+
+    def _parse_additive(self):
+        node = self._parse_multiplicative()
+        while self._peek() in (("op", "+"), ("op", "-")):
+            operator = self._next()[1]
+            rhs = self._parse_multiplicative()
+            node = BinaryOperation(operator, node, rhs)
+        return node
+
+    def _parse_multiplicative(self):
+        node = self._parse_unary()
+        while self._peek() in (("op", "*"), ("op", "/")):
+            operator = self._next()[1]
+            rhs = self._parse_unary()
+            node = BinaryOperation(operator, node, rhs)
+        return node
+
+    def _parse_unary(self):
+        if self._peek() == ("op", "-"):
+            self._next()
+            return UnaryOperation(self._parse_unary())
+        if self._peek() == ("op", "+"):
+            self._next()
+            return self._parse_unary()
+        return self._parse_primary()
+
+    def _parse_primary(self):
+        token = self._next()
+        kind, text = token
+        if kind == "number":
+            return Literal(float(text))
+        if kind == "op" and text == "(":
+            inner = self._parse_additive()
+            self._expect_op(")")
+            return inner
+        if kind == "name":
+            if self._peek() == ("op", "("):
+                self._next()
+                indices = [self._parse_index()]
+                while self._peek() == ("op", ","):
+                    self._next()
+                    indices.append(self._parse_index())
+                self._expect_op(")")
+                return ArrayReference(text, tuple(indices))
+            return Reference(text)
+        raise FortranParseError(f"unexpected token {text!r} in {self.text!r}")
+
+    def _parse_index(self) -> IndexExpression:
+        token = self._next()
+        if token[0] != "name":
+            raise FortranParseError(
+                f"array subscripts must be 'index +/- constant', found {token[1]!r}"
+            )
+        variable = token[1]
+        offset = 0
+        if self._peek() in (("op", "+"), ("op", "-")):
+            sign = 1 if self._next()[1] == "+" else -1
+            number = self._next()
+            if number[0] != "number":
+                raise FortranParseError("array subscript offsets must be integer literals")
+            offset = sign * int(float(number[1]))
+        return IndexExpression(variable, offset)

@@ -1,0 +1,201 @@
+"""PSy-IR: the DAG-form intermediate representation of the mini-PSyclone frontend.
+
+PSyclone parses Fortran into a DAG-shaped IR before applying transformations;
+this module defines the node classes our Fortran-subset parser produces and a
+reference numpy evaluator used as the "native PSyclone" numerical oracle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence, Union
+
+import numpy as np
+
+
+class PSyIRNode:
+    """Base class of PSy-IR nodes."""
+
+
+@dataclass
+class Literal(PSyIRNode):
+    """A numeric literal."""
+
+    value: float
+
+
+@dataclass
+class Reference(PSyIRNode):
+    """A reference to a scalar variable (loop index or runtime constant)."""
+
+    name: str
+
+
+@dataclass
+class IndexExpression(PSyIRNode):
+    """An array index of the form ``variable + offset``."""
+
+    variable: str
+    offset: int = 0
+
+
+@dataclass
+class ArrayReference(PSyIRNode):
+    """A reference to an array element, e.g. ``u(i+1, j, k)``."""
+
+    name: str
+    indices: tuple[IndexExpression, ...]
+
+    @property
+    def offsets(self) -> tuple[int, ...]:
+        return tuple(index.offset for index in self.indices)
+
+
+@dataclass
+class BinaryOperation(PSyIRNode):
+    """A binary arithmetic operation."""
+
+    operator: str  # one of + - * /
+    lhs: PSyIRNode
+    rhs: PSyIRNode
+
+
+@dataclass
+class UnaryOperation(PSyIRNode):
+    """Unary minus."""
+
+    operand: PSyIRNode
+
+
+@dataclass
+class Assignment(PSyIRNode):
+    """``lhs = rhs`` where lhs is an array element."""
+
+    lhs: ArrayReference
+    rhs: PSyIRNode
+
+
+@dataclass
+class Loop(PSyIRNode):
+    """A Fortran ``do`` loop."""
+
+    variable: str
+    start: PSyIRNode
+    stop: PSyIRNode
+    body: list[PSyIRNode] = field(default_factory=list)
+
+
+@dataclass
+class Schedule(PSyIRNode):
+    """The routine body: an ordered list of statements."""
+
+    name: str
+    arguments: list[str] = field(default_factory=list)
+    body: list[PSyIRNode] = field(default_factory=list)
+
+    def walk(self, node_type) -> list:
+        found: list = []
+
+        def visit(node) -> None:
+            if isinstance(node, node_type):
+                found.append(node)
+            if isinstance(node, (Schedule, Loop)):
+                for child in node.body:
+                    visit(child)
+            elif isinstance(node, Assignment):
+                visit(node.lhs)
+                visit(node.rhs)
+            elif isinstance(node, BinaryOperation):
+                visit(node.lhs)
+                visit(node.rhs)
+            elif isinstance(node, UnaryOperation):
+                visit(node.operand)
+            elif isinstance(node, ArrayReference):
+                for index in node.indices:
+                    visit(index)
+
+        visit(self)
+        return found
+
+    def array_names(self) -> list[str]:
+        names: list[str] = []
+        for ref in self.walk(ArrayReference):
+            if ref.name not in names:
+                names.append(ref.name)
+        return names
+
+    def written_arrays(self) -> list[str]:
+        names: list[str] = []
+        for assign in self.walk(Assignment):
+            if assign.lhs.name not in names:
+                names.append(assign.lhs.name)
+        return names
+
+
+# ---------------------------------------------------------------------------
+# Reference (numpy) evaluation — the "native PSyclone" numerical oracle
+# ---------------------------------------------------------------------------
+
+def reference_execute(
+    schedule: Schedule,
+    arrays: dict[str, np.ndarray],
+    *,
+    halo: int,
+    iterations: int = 1,
+    scalars: Optional[dict[str, float]] = None,
+) -> None:
+    """Execute the schedule with vectorised numpy, updating ``arrays`` in place.
+
+    Every array shares one interior shape; accesses use the same
+    ``interior + offset`` windows the stencil lowering produces, so results
+    are directly comparable with the compiled path.
+    """
+    scalars = scalars or {}
+    sample = next(iter(arrays.values()))
+    interior_shape = tuple(s - 2 * halo for s in sample.shape)
+
+    def evaluate(node: PSyIRNode):
+        if isinstance(node, Literal):
+            return node.value
+        if isinstance(node, Reference):
+            if node.name in scalars:
+                return scalars[node.name]
+            raise KeyError(f"unknown scalar {node.name!r} in reference execution")
+        if isinstance(node, ArrayReference):
+            array = arrays[node.name]
+            window = tuple(
+                slice(halo + off, halo + off + extent)
+                for off, extent in zip(node.offsets, interior_shape)
+            )
+            return array[window]
+        if isinstance(node, UnaryOperation):
+            return -evaluate(node.operand)
+        if isinstance(node, BinaryOperation):
+            lhs = evaluate(node.lhs)
+            rhs = evaluate(node.rhs)
+            if node.operator == "+":
+                return lhs + rhs
+            if node.operator == "-":
+                return lhs - rhs
+            if node.operator == "*":
+                return lhs * rhs
+            return lhs / rhs
+        raise TypeError(f"cannot evaluate PSy-IR node {node!r}")
+
+    interior = tuple(slice(halo, halo + extent) for extent in interior_shape)
+    loop_nests = [node for node in schedule.body if isinstance(node, Loop)]
+    for _ in range(int(iterations)):
+        for nest in loop_nests:
+            for assignment in _innermost_assignments(nest):
+                arrays[assignment.lhs.name][interior] = evaluate(assignment.rhs)
+
+
+def _innermost_assignments(loop: Loop) -> list[Assignment]:
+    node: PSyIRNode = loop
+    while isinstance(node, Loop):
+        body = node.body
+        if len(body) == 1 and isinstance(body[0], Loop):
+            node = body[0]
+        else:
+            return [stmt for stmt in body if isinstance(stmt, Assignment)]
+    return []

@@ -1,0 +1,27 @@
+"""Execution substrate: the IR interpreter and the simulated MPI runtime."""
+
+from .interpreter import (
+    ExecStatistics,
+    Interpreter,
+    InterpreterError,
+    RequestArray,
+    RequestRef,
+    run_function,
+)
+from .mpi_runtime import (
+    CommStatistics,
+    MPIRuntimeError,
+    RankCommunicator,
+    SimRequest,
+    SimulatedMPI,
+)
+from .values import DataTypeValue, MemRefValue, PointerValue, RequestHandle, numpy_dtype_for
+
+__all__ = [
+    "Interpreter", "InterpreterError", "ExecStatistics", "run_function",
+    "RequestArray", "RequestRef",
+    "SimulatedMPI", "RankCommunicator", "SimRequest", "MPIRuntimeError",
+    "CommStatistics",
+    "MemRefValue", "PointerValue", "RequestHandle", "DataTypeValue",
+    "numpy_dtype_for",
+]

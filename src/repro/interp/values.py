@@ -1,0 +1,127 @@
+"""Runtime value representations used by the IR interpreter.
+
+Memrefs and stencil fields are backed by numpy arrays.  A stencil field also
+remembers the logical coordinate of its first element (its lower bound), so
+stencil-level interpretation and lowered (memref-level) interpretation agree
+on which memory cell a logical index refers to.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..ir.types import (
+    Float16Type,
+    Float32Type,
+    Float64Type,
+    IndexType,
+    IntegerType,
+    MemRefType,
+)
+
+
+def numpy_dtype_for(element_type) -> np.dtype:
+    """The numpy dtype matching a scalar IR type."""
+    if isinstance(element_type, Float64Type):
+        return np.dtype(np.float64)
+    if isinstance(element_type, Float32Type):
+        return np.dtype(np.float32)
+    if isinstance(element_type, Float16Type):
+        return np.dtype(np.float16)
+    if isinstance(element_type, IndexType):
+        return np.dtype(np.int64)
+    if isinstance(element_type, IntegerType):
+        if element_type.width == 1:
+            return np.dtype(np.bool_)
+        if element_type.width <= 8:
+            return np.dtype(np.int8)
+        if element_type.width <= 16:
+            return np.dtype(np.int16)
+        if element_type.width <= 32:
+            return np.dtype(np.int32)
+        return np.dtype(np.int64)
+    raise TypeError(f"no numpy dtype for IR type {element_type}")
+
+
+class MemRefValue:
+    """A mutable, possibly strided view over a numpy buffer."""
+
+    __slots__ = ("array", "origin")
+
+    def __init__(self, array: np.ndarray, origin: Optional[Sequence[int]] = None):
+        self.array = array
+        #: Logical coordinate of array element (0, 0, ...); used by stencil-level
+        #: interpretation.  Memref-level code ignores it.
+        self.origin: tuple[int, ...] = (
+            tuple(int(o) for o in origin) if origin is not None else (0,) * array.ndim
+        )
+
+    @staticmethod
+    def allocate(shape: Sequence[int], element_type, origin=None) -> "MemRefValue":
+        return MemRefValue(
+            np.zeros(tuple(int(s) for s in shape), dtype=numpy_dtype_for(element_type)),
+            origin,
+        )
+
+    @staticmethod
+    def for_type(memref_type: MemRefType) -> "MemRefValue":
+        return MemRefValue.allocate(memref_type.shape, memref_type.element_type)
+
+    def view(self, offsets: Sequence[int], sizes: Sequence[int]) -> "MemRefValue":
+        """A shared-memory rectangular view (memref.subview semantics)."""
+        slices = tuple(
+            slice(int(o), int(o) + int(s)) for o, s in zip(offsets, sizes)
+        )
+        return MemRefValue(self.array[slices], self.origin)
+
+    def logical_index(self, logical: Sequence[int]) -> tuple[int, ...]:
+        """Translate a logical coordinate to a memory index using the origin."""
+        return tuple(int(l) - int(o) for l, o in zip(logical, self.origin))
+
+    def copy_from(self, other: "MemRefValue") -> None:
+        np.copyto(self.array, other.array.reshape(self.array.shape))
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return tuple(self.array.shape)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"MemRefValue(shape={self.shape}, origin={self.origin})"
+
+
+@dataclass
+class PointerValue:
+    """An opaque pointer: an address the interpreter maps back to a buffer."""
+
+    address: int
+
+    def __hash__(self) -> int:
+        return hash(self.address)
+
+
+class RequestHandle:
+    """A mutable MPI request slot (filled by isend/irecv, consumed by wait)."""
+
+    __slots__ = ("pending", "null")
+
+    def __init__(self):
+        self.pending = None
+        self.null = False
+
+    def set_null(self) -> None:
+        self.pending = None
+        self.null = True
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "null" if self.null else ("pending" if self.pending else "empty")
+        return f"<RequestHandle {state}>"
+
+
+@dataclass
+class DataTypeValue:
+    """An MPI datatype handle (name of the scalar type)."""
+
+    name: str

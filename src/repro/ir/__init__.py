@@ -1,0 +1,135 @@
+"""SSA+Regions IR core (the xDSL-like substrate of the shared compilation stack).
+
+This package provides everything the dialects and transforms build on:
+
+* :mod:`~repro.ir.attributes` / :mod:`~repro.ir.types` — immutable attributes
+  and builtin types.
+* :mod:`~repro.ir.core` — SSA values, operations, blocks and regions.
+* :mod:`~repro.ir.builder` — insertion-point based IR construction.
+* :mod:`~repro.ir.printer` / :mod:`~repro.ir.parser` — the shared textual format.
+* :mod:`~repro.ir.rewriting` — pattern rewriting (the engine of every lowering).
+* :mod:`~repro.ir.pass_manager` — pass pipelines.
+"""
+
+from .attributes import (
+    ArrayAttr,
+    Attribute,
+    BoolAttr,
+    Data,
+    DenseArrayAttr,
+    DenseIntOrFPElementsAttr,
+    DictionaryAttr,
+    FloatAttr,
+    FloatData,
+    IntAttr,
+    IntegerAttr,
+    StringAttr,
+    SymbolRefAttr,
+    TypeAttribute,
+    UnitAttr,
+)
+from .builder import Builder, InsertPoint, build_single_block_region, first_result
+from .context import Dialect, MLContext, default_context
+from .core import (
+    Block,
+    BlockArgument,
+    IRError,
+    Operation,
+    OpResult,
+    Region,
+    SSAValue,
+    Use,
+)
+from .pass_manager import (
+    FunctionPass,
+    LambdaPass,
+    ModulePass,
+    PassFailedError,
+    PassManager,
+    PassRegistry,
+    PipelineReport,
+)
+from .parser import ParseError, Parser, parse_module
+from .printer import Printer, print_module, print_op
+from .rewriting import (
+    GreedyRewritePatternApplier,
+    PatternRewriter,
+    PatternRewriteWalker,
+    RewriteError,
+    RewritePattern,
+    TypedPattern,
+)
+from .traits import (
+    CommunicationEffect,
+    ConstantLike,
+    HasParent,
+    IsolatedFromAbove,
+    IsTerminator,
+    MemoryReadEffect,
+    MemoryWriteEffect,
+    OpTrait,
+    Pure,
+    SymbolOp,
+    has_side_effects,
+    is_pure,
+)
+from .types import (
+    DYNAMIC,
+    Float16Type,
+    Float32Type,
+    Float64Type,
+    FunctionType,
+    IndexType,
+    IntegerType,
+    MemRefType,
+    NoneType,
+    ShapedType,
+    TensorType,
+    VectorType,
+    bitwidth_of,
+    bytewidth_of,
+    f16,
+    f32,
+    f64,
+    i1,
+    i32,
+    i64,
+    index,
+    is_float_type,
+    is_integer_like,
+    none,
+)
+from .verifier import VerificationError, verify_operation
+
+__all__ = [
+    # attributes
+    "Attribute", "TypeAttribute", "Data", "IntAttr", "FloatData", "StringAttr",
+    "BoolAttr", "UnitAttr", "ArrayAttr", "DictionaryAttr", "SymbolRefAttr",
+    "IntegerAttr", "FloatAttr", "DenseArrayAttr", "DenseIntOrFPElementsAttr",
+    # types
+    "IntegerType", "IndexType", "Float16Type", "Float32Type", "Float64Type",
+    "NoneType", "FunctionType", "ShapedType", "MemRefType", "TensorType",
+    "VectorType", "DYNAMIC", "i1", "i32", "i64", "f16", "f32", "f64", "index",
+    "none", "bitwidth_of", "bytewidth_of", "is_float_type", "is_integer_like",
+    # core
+    "SSAValue", "OpResult", "BlockArgument", "Use", "Operation", "Block",
+    "Region", "IRError",
+    # construction
+    "Builder", "InsertPoint", "build_single_block_region", "first_result",
+    # context
+    "MLContext", "Dialect", "default_context",
+    # printing / parsing
+    "Printer", "print_op", "print_module", "Parser", "parse_module", "ParseError",
+    # rewriting
+    "RewritePattern", "TypedPattern", "PatternRewriter", "PatternRewriteWalker",
+    "GreedyRewritePatternApplier", "RewriteError",
+    # passes
+    "ModulePass", "FunctionPass", "LambdaPass", "PassManager", "PassRegistry",
+    "PipelineReport", "PassFailedError",
+    # traits
+    "OpTrait", "IsTerminator", "Pure", "HasParent", "IsolatedFromAbove",
+    "SymbolOp", "ConstantLike", "MemoryReadEffect", "MemoryWriteEffect",
+    "CommunicationEffect", "is_pure", "has_side_effects",
+    # verification
+    "VerificationError", "verify_operation",
+]

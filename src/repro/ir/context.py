@@ -1,0 +1,92 @@
+"""Dialect registration and the compilation context.
+
+A :class:`Dialect` groups related operations and attributes under a common
+namespace (``arith``, ``stencil``, ``dmp``...).  The :class:`MLContext` holds
+the set of registered dialects and is consulted by the parser and the pass
+manager to resolve operation and attribute names.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Type
+
+from .attributes import Attribute
+from .core import Operation
+
+
+class Dialect:
+    """A named collection of operation and attribute classes."""
+
+    def __init__(
+        self,
+        name: str,
+        operations: Iterable[Type[Operation]] = (),
+        attributes: Iterable[Type[Attribute]] = (),
+    ):
+        self.name = name
+        self.operations: list[Type[Operation]] = list(operations)
+        self.attributes: list[Type[Attribute]] = list(attributes)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Dialect({self.name!r}, {len(self.operations)} ops)"
+
+
+class MLContext:
+    """Registry of dialects, operations and attributes."""
+
+    def __init__(self, allow_unregistered: bool = False):
+        self.allow_unregistered = allow_unregistered
+        self._dialects: dict[str, Dialect] = {}
+        self._op_registry: dict[str, Type[Operation]] = {}
+        self._attr_registry: dict[str, Type[Attribute]] = {}
+
+    # -- registration -------------------------------------------------------
+    def register_dialect(self, dialect: Dialect) -> None:
+        if dialect.name in self._dialects:
+            return
+        self._dialects[dialect.name] = dialect
+        for op_cls in dialect.operations:
+            self.register_op(op_cls)
+        for attr_cls in dialect.attributes:
+            self.register_attr(attr_cls)
+
+    def register_op(self, op_cls: Type[Operation]) -> None:
+        existing = self._op_registry.get(op_cls.name)
+        if existing is not None and existing is not op_cls:
+            raise ValueError(f"operation {op_cls.name} registered twice")
+        self._op_registry[op_cls.name] = op_cls
+
+    def register_attr(self, attr_cls: Type[Attribute]) -> None:
+        existing = self._attr_registry.get(attr_cls.name)
+        if existing is not None and existing is not attr_cls:
+            raise ValueError(f"attribute {attr_cls.name} registered twice")
+        self._attr_registry[attr_cls.name] = attr_cls
+
+    # -- lookup ---------------------------------------------------------------
+    @property
+    def dialects(self) -> dict[str, Dialect]:
+        return dict(self._dialects)
+
+    def get_op(self, name: str) -> Optional[Type[Operation]]:
+        return self._op_registry.get(name)
+
+    def get_attr(self, name: str) -> Optional[Type[Attribute]]:
+        return self._attr_registry.get(name)
+
+    def get_optional_op(self, name: str) -> Optional[Type[Operation]]:
+        return self._op_registry.get(name)
+
+    def clone(self) -> "MLContext":
+        ctx = MLContext(self.allow_unregistered)
+        for dialect in self._dialects.values():
+            ctx.register_dialect(dialect)
+        return ctx
+
+
+def default_context(allow_unregistered: bool = True) -> MLContext:
+    """Return a context with every dialect of this project registered."""
+    from ..dialects import register_all_dialects
+
+    ctx = MLContext(allow_unregistered=allow_unregistered)
+    register_all_dialects(ctx)
+    return ctx

@@ -1,0 +1,487 @@
+"""Parser for the generic textual IR format produced by :mod:`repro.ir.printer`.
+
+The parser is intentionally limited to the generic operation syntax; it exists
+so programs can be stored as text, diffed, and round-tripped in tests - the
+same role the shared textual format plays between MLIR and xDSL in the paper.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Optional
+
+from .attributes import (
+    ArrayAttr,
+    Attribute,
+    BoolAttr,
+    DenseArrayAttr,
+    DenseIntOrFPElementsAttr,
+    FloatAttr,
+    FloatData,
+    IntAttr,
+    IntegerAttr,
+    StringAttr,
+    SymbolRefAttr,
+    TypeAttribute,
+    UnitAttr,
+)
+from .context import MLContext
+from .core import Block, Operation, Region, SSAValue
+from .types import (
+    DYNAMIC,
+    Float16Type,
+    Float32Type,
+    Float64Type,
+    FunctionType,
+    IndexType,
+    IntegerType,
+    MemRefType,
+    NoneType,
+    TensorType,
+    VectorType,
+)
+
+
+class ParseError(Exception):
+    """Raised on malformed textual IR."""
+
+    def __init__(self, message: str, position: int = -1, text: str = ""):
+        if position >= 0 and text:
+            line = text.count("\n", 0, position) + 1
+            col = position - (text.rfind("\n", 0, position) + 1) + 1
+            message = f"line {line}, column {col}: {message}"
+        super().__init__(message)
+
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<string>"(?:[^"\\]|\\.)*")
+  | (?P<caret>\^[A-Za-z0-9_]*)
+  | (?P<percent>%[A-Za-z0-9_.$-]+)
+  | (?P<at>@[A-Za-z0-9_.$-]+)
+  | (?P<hash>\#[A-Za-z_][A-Za-z0-9_.]*)
+  | (?P<bang>![A-Za-z_][A-Za-z0-9_.]*)
+  | (?P<arrow>->)
+  | (?P<float>-?\d+\.\d*(?:[eE][-+]?\d+)?|-?\d+[eE][-+]?\d+)
+  | (?P<int>-?\d+)
+  | (?P<ident>[A-Za-z_][A-Za-z0-9_.]*)
+  | (?P<punct>[(){}\[\]<>:,=?x*])
+    """,
+    re.VERBOSE,
+)
+
+
+class Token:
+    __slots__ = ("kind", "text", "pos")
+
+    def __init__(self, kind: str, text: str, pos: int):
+        self.kind = kind
+        self.text = text
+        self.pos = pos
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"Token({self.kind}, {self.text!r})"
+
+
+def _tokenize(text: str) -> list[Token]:
+    tokens: list[Token] = []
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN_RE.match(text, pos)
+        if match is None:
+            raise ParseError(f"unexpected character {text[pos]!r}", pos, text)
+        kind = match.lastgroup or ""
+        if kind != "ws":
+            tokens.append(Token(kind, match.group(), pos))
+        pos = match.end()
+    tokens.append(Token("eof", "", len(text)))
+    return tokens
+
+
+class Parser:
+    """Recursive-descent parser over the token stream."""
+
+    def __init__(self, ctx: MLContext, text: str):
+        self.ctx = ctx
+        self.text = text
+        self.tokens = _tokenize(text)
+        self.pos = 0
+        self.value_map: dict[str, SSAValue] = {}
+
+    # -- token helpers --------------------------------------------------------
+    def peek(self, offset: int = 0) -> Token:
+        return self.tokens[min(self.pos + offset, len(self.tokens) - 1)]
+
+    def next(self) -> Token:
+        token = self.tokens[self.pos]
+        if token.kind != "eof":
+            self.pos += 1
+        return token
+
+    def accept(self, text: str) -> bool:
+        if self.peek().text == text:
+            self.next()
+            return True
+        return False
+
+    def expect(self, text: str) -> Token:
+        token = self.next()
+        if token.text != text:
+            raise ParseError(f"expected {text!r}, found {token.text!r}", token.pos, self.text)
+        return token
+
+    def error(self, message: str) -> ParseError:
+        return ParseError(message, self.peek().pos, self.text)
+
+    # -- entry points --------------------------------------------------------------
+    def parse_module(self) -> Operation:
+        op = self.parse_operation()
+        if self.peek().kind != "eof":
+            raise self.error("trailing input after top-level operation")
+        return op
+
+    # -- operations ---------------------------------------------------------------
+    def parse_operation(self) -> Operation:
+        result_names: list[str] = []
+        if self.peek().kind == "percent":
+            while self.peek().kind == "percent":
+                result_names.append(self.next().text[1:])
+                if not self.accept(","):
+                    break
+            self.expect("=")
+        name_token = self.next()
+        if name_token.kind != "string":
+            raise ParseError(
+                f"expected operation name string, found {name_token.text!r}",
+                name_token.pos,
+                self.text,
+            )
+        op_name = _unescape(name_token.text)
+
+        self.expect("(")
+        operand_names: list[str] = []
+        while self.peek().kind == "percent":
+            operand_names.append(self.next().text[1:])
+            if not self.accept(","):
+                break
+        self.expect(")")
+
+        regions: list[Region] = []
+        if self.peek().text == "(" and self.peek(1).text == "{":
+            self.expect("(")
+            while True:
+                regions.append(self.parse_region())
+                if not self.accept(","):
+                    break
+            self.expect(")")
+
+        attributes: dict[str, Attribute] = {}
+        if self.peek().text == "{":
+            attributes = self.parse_attr_dict()
+
+        self.expect(":")
+        self.expect("(")
+        operand_types: list[Attribute] = []
+        while self.peek().text != ")":
+            operand_types.append(self.parse_type())
+            if not self.accept(","):
+                break
+        self.expect(")")
+        self.expect("->")
+        result_types: list[Attribute] = []
+        if self.accept("("):
+            while self.peek().text != ")":
+                result_types.append(self.parse_type())
+                if not self.accept(","):
+                    break
+            self.expect(")")
+        else:
+            result_types.append(self.parse_type())
+
+        if len(operand_names) != len(operand_types):
+            raise self.error(
+                f"{op_name}: {len(operand_names)} operands but "
+                f"{len(operand_types)} operand types"
+            )
+        operands = []
+        for operand_name, operand_type in zip(operand_names, operand_types):
+            if operand_name not in self.value_map:
+                raise self.error(f"use of undefined value %{operand_name}")
+            value = self.value_map[operand_name]
+            operands.append(value)
+
+        op_cls = self.ctx.get_op(op_name)
+        if op_cls is None:
+            if not self.ctx.allow_unregistered:
+                raise self.error(f"unregistered operation {op_name!r}")
+            op_cls = UnregisteredOp.with_name(op_name)
+        op = op_cls.create(
+            operands=operands,
+            result_types=result_types,  # type: ignore[arg-type]
+            attributes=attributes,
+            regions=regions,
+        )
+        if result_names and len(result_names) != len(op.results):
+            raise self.error(
+                f"{op_name}: {len(result_names)} result names but "
+                f"{len(op.results)} results"
+            )
+        for result_name, result in zip(result_names, op.results):
+            result.name_hint = result_name
+            self.value_map[result_name] = result
+        return op
+
+    def parse_region(self) -> Region:
+        self.expect("{")
+        region = Region()
+        while self.peek().kind == "caret":
+            region.add_block(self.parse_block())
+        self.expect("}")
+        return region
+
+    def parse_block(self) -> Block:
+        self.next()  # ^label
+        block = Block()
+        self.expect("(")
+        while self.peek().kind == "percent":
+            arg_name = self.next().text[1:]
+            self.expect(":")
+            arg_type = self.parse_type()
+            arg = block.add_arg(arg_type)  # type: ignore[arg-type]
+            arg.name_hint = arg_name
+            self.value_map[arg_name] = arg
+            if not self.accept(","):
+                break
+        self.expect(")")
+        self.expect(":")
+        while self.peek().kind in ("percent", "string"):
+            block.add_op(self.parse_operation())
+        return block
+
+    def parse_attr_dict(self) -> dict[str, Attribute]:
+        self.expect("{")
+        attributes: dict[str, Attribute] = {}
+        while self.peek().text != "}":
+            key_token = self.next()
+            if key_token.kind == "string":
+                key = _unescape(key_token.text)
+            elif key_token.kind == "ident":
+                key = key_token.text
+            else:
+                raise ParseError(
+                    f"expected attribute name, found {key_token.text!r}",
+                    key_token.pos,
+                    self.text,
+                )
+            self.expect("=")
+            attributes[key] = self.parse_attribute()
+            if not self.accept(","):
+                break
+        self.expect("}")
+        return attributes
+
+    # -- attributes and types -------------------------------------------------------
+    def parse_attribute(self) -> Attribute:
+        token = self.peek()
+        if token.kind == "string":
+            self.next()
+            return StringAttr(_unescape(token.text))
+        if token.kind == "at":
+            self.next()
+            return SymbolRefAttr(token.text[1:])
+        if token.kind == "int":
+            self.next()
+            value = int(token.text)
+            if self.accept(":"):
+                return IntegerAttr(value, self.parse_type())
+            return IntAttr(value)
+        if token.kind == "float":
+            self.next()
+            value = float(token.text)
+            if self.accept(":"):
+                return FloatAttr(value, self.parse_type())
+            return FloatData(value)
+        if token.text == "true":
+            self.next()
+            return BoolAttr(True)
+        if token.text == "false":
+            self.next()
+            return BoolAttr(False)
+        if token.text == "unit":
+            self.next()
+            return UnitAttr()
+        if token.text == "[":
+            self.next()
+            elements: list[Attribute] = []
+            while self.peek().text != "]":
+                elements.append(self.parse_attribute())
+                if not self.accept(","):
+                    break
+            self.expect("]")
+            return ArrayAttr(elements)
+        if token.text == "array":
+            self.next()
+            self.expect("<")
+            element_type = self.parse_type()
+            self.expect(":")
+            values: list[float] = []
+            while self.peek().text != ">":
+                value_token = self.next()
+                if value_token.kind == "int":
+                    values.append(int(value_token.text))
+                elif value_token.kind == "float":
+                    values.append(float(value_token.text))
+                else:
+                    raise ParseError(
+                        f"expected number in dense array, found {value_token.text!r}",
+                        value_token.pos,
+                        self.text,
+                    )
+                if not self.accept(","):
+                    break
+            self.expect(">")
+            return DenseArrayAttr(values, element_type)  # type: ignore[arg-type]
+        if token.text == "dense":
+            self.next()
+            self.expect("<")
+            self.expect("[")
+            values = []
+            while self.peek().text != "]":
+                value_token = self.next()
+                values.append(
+                    int(value_token.text)
+                    if value_token.kind == "int"
+                    else float(value_token.text)
+                )
+                if not self.accept(","):
+                    break
+            self.expect("]")
+            self.expect(">")
+            self.expect(":")
+            type_ = self.parse_type()
+            return DenseIntOrFPElementsAttr(values, type_)  # type: ignore[arg-type]
+        if token.kind == "hash":
+            return self._parse_dialect_attribute(token, is_type=False)
+        # Fall back to a type attribute (types are attributes).
+        return self.parse_type()
+
+    def parse_type(self) -> Attribute:
+        token = self.peek()
+        if token.kind == "bang":
+            return self._parse_dialect_attribute(token, is_type=True)
+        if token.kind == "ident":
+            text = token.text
+            if text == "index":
+                self.next()
+                return IndexType()
+            if text == "none":
+                self.next()
+                return NoneType()
+            if text in ("f16", "f32", "f64"):
+                self.next()
+                return {"f16": Float16Type, "f32": Float32Type, "f64": Float64Type}[text]()
+            if re.fullmatch(r"i\d+", text):
+                self.next()
+                return IntegerType(int(text[1:]))
+            if text in ("memref", "tensor", "vector"):
+                self.next()
+                return self._parse_shaped_type(text)
+        if token.text == "(":
+            self.next()
+            inputs: list[Attribute] = []
+            while self.peek().text != ")":
+                inputs.append(self.parse_type())
+                if not self.accept(","):
+                    break
+            self.expect(")")
+            self.expect("->")
+            outputs: list[Attribute] = []
+            self.expect("(")
+            while self.peek().text != ")":
+                outputs.append(self.parse_type())
+                if not self.accept(","):
+                    break
+            self.expect(")")
+            return FunctionType(inputs, outputs)  # type: ignore[arg-type]
+        raise ParseError(f"expected a type, found {token.text!r}", token.pos, self.text)
+
+    def _parse_shaped_type(self, keyword: str) -> Attribute:
+        # The dimension list ("8x8x?xf64") does not tokenise cleanly (an "x"
+        # glued to digits lexes as an identifier), so take the raw bracket
+        # payload and split it textually.
+        body = self._consume_balanced_angle_brackets()
+        parts = body.replace(" ", "").split("x")
+        dims: list[int] = []
+        element_parts: list[str] = []
+        for i, part in enumerate(parts):
+            if not element_parts and part == "?":
+                dims.append(DYNAMIC)
+            elif not element_parts and re.fullmatch(r"\d+", part):
+                dims.append(int(part))
+            else:
+                element_parts.append(part)
+        element_text = "x".join(element_parts)
+        element_type = Parser(self.ctx, element_text).parse_type()
+        cls = {"memref": MemRefType, "tensor": TensorType, "vector": VectorType}[keyword]
+        return cls(dims, element_type)  # type: ignore[arg-type]
+
+    def _parse_dialect_attribute(self, token: Token, is_type: bool) -> Attribute:
+        self.next()
+        name = token.text[1:]
+        attr_cls = self.ctx.get_attr(name)
+        if attr_cls is None:
+            raise ParseError(f"unregistered attribute {name!r}", token.pos, self.text)
+        body = ""
+        if self.peek().text == "<":
+            body = self._consume_balanced_angle_brackets()
+        if hasattr(attr_cls, "parse_parameters"):
+            return attr_cls.parse_parameters(body)  # type: ignore[attr-defined]
+        if body:
+            raise ParseError(
+                f"attribute {name!r} does not accept parameters", token.pos, self.text
+            )
+        return attr_cls()  # type: ignore[call-arg]
+
+    def _consume_balanced_angle_brackets(self) -> str:
+        """Consume ``<...>`` (with nesting) and return the raw inner text."""
+        start_token = self.expect("<")
+        depth = 1
+        start = start_token.pos + 1
+        end = start
+        while depth > 0:
+            token = self.next()
+            if token.kind == "eof":
+                raise ParseError("unbalanced '<' in dialect attribute", start, self.text)
+            if token.text == "<" or (token.kind in ("hash", "bang") and self.peek().text == "<"):
+                if token.text == "<":
+                    depth += 1
+            elif token.text == ">":
+                depth -= 1
+            end = token.pos
+        return self.text[start:end].strip()
+
+
+class UnregisteredOp(Operation):
+    """Placeholder for operations whose dialect is not registered."""
+
+    name = "builtin.unregistered"
+
+    _cache: dict[str, type] = {}
+
+    @classmethod
+    def with_name(cls, name: str) -> type:
+        if name not in cls._cache:
+            cls._cache[name] = type(
+                f"UnregisteredOp_{name.replace('.', '_')}", (UnregisteredOp,), {"name": name}
+            )
+        return cls._cache[name]
+
+
+def _unescape(quoted: str) -> str:
+    return quoted[1:-1].replace('\\"', '"').replace("\\\\", "\\")
+
+
+def parse_module(ctx: MLContext, text: str) -> Operation:
+    """Parse a textual module and return the top-level operation."""
+    return Parser(ctx, text).parse_module()

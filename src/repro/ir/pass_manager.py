@@ -1,0 +1,176 @@
+"""Compilation passes and the pass manager.
+
+A :class:`ModulePass` transforms a module in place.  The :class:`PassManager`
+runs a sequence of passes, optionally verifying the IR between passes and
+recording per-pass statistics, mirroring ``mlir-opt`` pipelines such as
+``--cse --loop-invariant-code-motion --convert-stencil-to-ll-mlir``.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Optional
+
+from .context import MLContext
+from .core import Operation
+
+
+class PassFailedError(Exception):
+    """Raised when a pass cannot be applied to the given module."""
+
+
+class ModulePass:
+    """Base class for module-level passes."""
+
+    name: str = "unnamed-pass"
+
+    def apply(self, ctx: MLContext, module: Operation) -> None:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<pass {self.name}>"
+
+
+class FunctionPass(ModulePass):
+    """A pass applied independently to every ``func.func`` in the module."""
+
+    def apply(self, ctx: MLContext, module: Operation) -> None:
+        from ..dialects import func as func_dialect
+
+        for op in list(module.walk()):
+            if isinstance(op, func_dialect.FuncOp):
+                self.apply_to_function(ctx, op)
+
+    def apply_to_function(self, ctx: MLContext, func_op: Operation) -> None:
+        raise NotImplementedError
+
+
+class LambdaPass(ModulePass):
+    """Wrap a plain callable as a pass (useful in tests and pipelines)."""
+
+    def __init__(self, name: str, fn: Callable[[MLContext, Operation], None]):
+        self.name = name
+        self._fn = fn
+
+    def apply(self, ctx: MLContext, module: Operation) -> None:
+        self._fn(ctx, module)
+
+
+@dataclass
+class PassStatistics:
+    """Timing and change information for a single pass execution."""
+
+    pass_name: str
+    seconds: float
+    ops_before: int
+    ops_after: int
+
+    @property
+    def ops_delta(self) -> int:
+        return self.ops_after - self.ops_before
+
+
+@dataclass
+class PipelineReport:
+    """Statistics for a whole pipeline run."""
+
+    statistics: list[PassStatistics] = field(default_factory=list)
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(stat.seconds for stat in self.statistics)
+
+    def summary(self) -> str:
+        lines = ["pass".ljust(42) + "time (s)".rjust(10) + "ops".rjust(8)]
+        for stat in self.statistics:
+            lines.append(
+                stat.pass_name.ljust(42)
+                + f"{stat.seconds:10.4f}"
+                + f"{stat.ops_after:8d}"
+            )
+        return "\n".join(lines)
+
+
+class PassManager:
+    """Runs a sequence of passes over a module."""
+
+    def __init__(
+        self,
+        ctx: MLContext,
+        passes: Iterable[ModulePass] = (),
+        *,
+        verify_between_passes: bool = True,
+    ):
+        self.ctx = ctx
+        self.passes: list[ModulePass] = list(passes)
+        self.verify_between_passes = verify_between_passes
+        self.report = PipelineReport()
+
+    def add(self, pass_: ModulePass) -> "PassManager":
+        self.passes.append(pass_)
+        return self
+
+    def run(self, module: Operation) -> PipelineReport:
+        """Apply every pass in order; return the pipeline report."""
+        if self.verify_between_passes:
+            module.verify()
+        for pass_ in self.passes:
+            ops_before = _count_ops(module)
+            start = time.perf_counter()
+            pass_.apply(self.ctx, module)
+            elapsed = time.perf_counter() - start
+            if self.verify_between_passes:
+                try:
+                    module.verify()
+                except Exception as err:  # re-raise with pass context
+                    raise PassFailedError(
+                        f"IR verification failed after pass {pass_.name!r}: {err}"
+                    ) from err
+            self.report.statistics.append(
+                PassStatistics(pass_.name, elapsed, ops_before, _count_ops(module))
+            )
+        return self.report
+
+    def pipeline_string(self) -> str:
+        """A human-readable description of the pipeline (mlir-opt style)."""
+        return ",".join(p.name for p in self.passes)
+
+
+def _count_ops(module: Operation) -> int:
+    return sum(1 for _ in module.walk())
+
+
+class PassRegistry:
+    """Global registry of passes addressable by name (for pipeline strings)."""
+
+    _registry: dict[str, Callable[[], ModulePass]] = {}
+
+    @classmethod
+    def register(cls, name: str, factory: Optional[Callable[[], ModulePass]] = None):
+        def decorator(target):
+            cls._registry[name] = target
+            return target
+
+        if factory is not None:
+            cls._registry[name] = factory
+            return factory
+        return decorator
+
+    @classmethod
+    def get(cls, name: str) -> ModulePass:
+        if name not in cls._registry:
+            raise KeyError(
+                f"unknown pass {name!r}; known passes: {sorted(cls._registry)}"
+            )
+        return cls._registry[name]()
+
+    @classmethod
+    def known_passes(cls) -> list[str]:
+        return sorted(cls._registry)
+
+    @classmethod
+    def parse_pipeline(cls, ctx: MLContext, pipeline: str) -> PassManager:
+        """Build a pass manager from a comma-separated pipeline string."""
+        names = [name.strip() for name in pipeline.split(",") if name.strip()]
+        return PassManager(ctx, [cls.get(name) for name in names])

@@ -1,0 +1,239 @@
+"""Pattern-rewrite infrastructure.
+
+A :class:`RewritePattern` matches a single operation and rewrites it through a
+:class:`PatternRewriter`.  The :class:`PatternRewriteWalker` (greedy driver)
+repeatedly walks a module applying patterns until a fixpoint is reached.
+This is the mechanism every lowering pass in :mod:`repro.transforms` uses.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence
+
+from .core import Block, IRError, Operation, Region, SSAValue
+
+
+class RewriteError(IRError):
+    """Raised when a rewrite would produce invalid IR."""
+
+
+class PatternRewriter:
+    """Mutation interface handed to rewrite patterns.
+
+    Records whether any modification happened so the driver knows when the
+    fixpoint is reached.
+    """
+
+    def __init__(self, current_op: Operation):
+        self.current_op = current_op
+        self.has_done_action = False
+        #: Operations inserted by the pattern; the driver will revisit them.
+        self.added_operations: list[Operation] = []
+
+    # -- insertion -------------------------------------------------------------
+    def insert_op_before_matched_op(self, ops: Operation | Sequence[Operation]) -> None:
+        self.insert_op_before(ops, self.current_op)
+
+    def insert_op_after_matched_op(self, ops: Operation | Sequence[Operation]) -> None:
+        self.insert_op_after(ops, self.current_op)
+
+    def insert_op_before(
+        self, ops: Operation | Sequence[Operation], anchor: Operation
+    ) -> None:
+        block = anchor.parent_block
+        if block is None:
+            raise RewriteError("anchor operation is not attached to a block")
+        for op in _as_ops(ops):
+            block.insert_op_before(op, anchor)
+            self.added_operations.append(op)
+        self.has_done_action = True
+
+    def insert_op_after(
+        self, ops: Operation | Sequence[Operation], anchor: Operation
+    ) -> None:
+        block = anchor.parent_block
+        if block is None:
+            raise RewriteError("anchor operation is not attached to a block")
+        for op in reversed(_as_ops(ops)):
+            block.insert_op_after(op, anchor)
+            self.added_operations.append(op)
+        self.has_done_action = True
+
+    def insert_op_at_end(self, ops: Operation | Sequence[Operation], block: Block) -> None:
+        for op in _as_ops(ops):
+            block.add_op(op)
+            self.added_operations.append(op)
+        self.has_done_action = True
+
+    def insert_op_at_start(self, ops: Operation | Sequence[Operation], block: Block) -> None:
+        ops_list = _as_ops(ops)
+        if block.ops:
+            anchor = block.ops[0]
+            for op in ops_list:
+                block.insert_op_before(op, anchor)
+                self.added_operations.append(op)
+        else:
+            for op in ops_list:
+                block.add_op(op)
+                self.added_operations.append(op)
+        self.has_done_action = True
+
+    # -- replacement -----------------------------------------------------------
+    def replace_matched_op(
+        self,
+        new_ops: Operation | Sequence[Operation],
+        new_results: Optional[Sequence[Optional[SSAValue]]] = None,
+    ) -> None:
+        self.replace_op(self.current_op, new_ops, new_results)
+
+    def replace_op(
+        self,
+        op: Operation,
+        new_ops: Operation | Sequence[Operation],
+        new_results: Optional[Sequence[Optional[SSAValue]]] = None,
+    ) -> None:
+        """Replace ``op`` by ``new_ops``.
+
+        Results of ``op`` are replaced by ``new_results`` (defaults to the
+        results of the last new operation).  ``None`` entries mean the
+        corresponding result must be unused.
+        """
+        ops_list = _as_ops(new_ops)
+        block = op.parent_block
+        if block is None:
+            raise RewriteError(f"cannot replace detached operation {op.name}")
+        if new_results is None:
+            new_results = ops_list[-1].results if ops_list else []
+        if len(new_results) != len(op.results):
+            raise RewriteError(
+                f"replacing {op.name}: expected {len(op.results)} replacement "
+                f"results, got {len(new_results)}"
+            )
+        for new_op in ops_list:
+            block.insert_op_before(new_op, op)
+            self.added_operations.append(new_op)
+        for old_result, new_result in zip(op.results, new_results):
+            if new_result is None:
+                if old_result.uses:
+                    raise RewriteError(
+                        f"result of {op.name} still has uses but no replacement given"
+                    )
+                continue
+            old_result.replace_by(new_result)
+        op.erase()
+        self.has_done_action = True
+
+    def erase_matched_op(self) -> None:
+        self.erase_op(self.current_op)
+
+    def erase_op(self, op: Operation) -> None:
+        op.erase()
+        self.has_done_action = True
+
+    def replace_all_uses_with(self, old: SSAValue, new: SSAValue) -> None:
+        old.replace_by(new)
+        self.has_done_action = True
+
+    # -- region surgery ----------------------------------------------------------
+    def inline_block_before(
+        self,
+        block: Block,
+        anchor: Operation,
+        arg_values: Sequence[SSAValue] = (),
+    ) -> None:
+        """Move all ops of ``block`` before ``anchor``, substituting block args."""
+        if len(arg_values) != len(block.args):
+            raise RewriteError(
+                f"inlining block with {len(block.args)} arguments but "
+                f"{len(arg_values)} values were provided"
+            )
+        for arg, value in zip(block.args, arg_values):
+            arg.replace_by(value)
+        target_block = anchor.parent_block
+        if target_block is None:
+            raise RewriteError("anchor operation is not attached to a block")
+        for op in list(block.ops):
+            block.detach_op(op)
+            target_block.insert_op_before(op, anchor)
+        self.has_done_action = True
+
+    def notify_changed(self) -> None:
+        self.has_done_action = True
+
+
+class RewritePattern:
+    """Base class for rewrite patterns; subclasses override ``match_and_rewrite``."""
+
+    def match_and_rewrite(self, op: Operation, rewriter: PatternRewriter) -> None:
+        raise NotImplementedError
+
+
+class TypedPattern(RewritePattern):
+    """A pattern that only fires on a specific operation class."""
+
+    op_type: type[Operation] = Operation
+
+    def match_and_rewrite(self, op: Operation, rewriter: PatternRewriter) -> None:
+        if isinstance(op, self.op_type):
+            self.match_and_rewrite_typed(op, rewriter)
+
+    def match_and_rewrite_typed(self, op, rewriter: PatternRewriter) -> None:
+        raise NotImplementedError
+
+
+class GreedyRewritePatternApplier(RewritePattern):
+    """Tries a list of patterns in order; first modification wins."""
+
+    def __init__(self, patterns: Iterable[RewritePattern]):
+        self.patterns = list(patterns)
+
+    def match_and_rewrite(self, op: Operation, rewriter: PatternRewriter) -> None:
+        for pattern in self.patterns:
+            pattern.match_and_rewrite(op, rewriter)
+            if rewriter.has_done_action:
+                return
+
+
+class PatternRewriteWalker:
+    """Greedy driver: walk the IR applying a pattern until nothing changes."""
+
+    def __init__(
+        self,
+        pattern: RewritePattern,
+        *,
+        apply_recursively: bool = True,
+        walk_reverse: bool = False,
+        max_iterations: int = 200,
+    ):
+        self.pattern = pattern
+        self.apply_recursively = apply_recursively
+        self.walk_reverse = walk_reverse
+        self.max_iterations = max_iterations
+
+    def rewrite_module(self, module: Operation) -> bool:
+        """Apply the pattern to every op under ``module``; return whether it changed."""
+        changed_anything = False
+        for _ in range(self.max_iterations):
+            changed = self._single_sweep(module)
+            changed_anything |= changed
+            if not changed or not self.apply_recursively:
+                break
+        return changed_anything
+
+    def _single_sweep(self, module: Operation) -> bool:
+        changed = False
+        worklist = [op for op in module.walk(reverse=self.walk_reverse) if op is not module]
+        for op in worklist:
+            if op.parent is None:
+                continue  # erased by a previous rewrite in this sweep
+            rewriter = PatternRewriter(op)
+            self.pattern.match_and_rewrite(op, rewriter)
+            if rewriter.has_done_action:
+                changed = True
+        return changed
+
+
+def _as_ops(ops: Operation | Sequence[Operation]) -> list[Operation]:
+    if isinstance(ops, Operation):
+        return [ops]
+    return list(ops)

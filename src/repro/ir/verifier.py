@@ -1,0 +1,65 @@
+"""Structural verification of IR.
+
+The verifier checks invariants that every well-formed program must satisfy:
+operand/result consistency, trait constraints, dominance within blocks, and
+dialect-specific invariants via ``Operation.verify_``.
+"""
+
+from __future__ import annotations
+
+from .core import Block, BlockArgument, IRError, Operation, OpResult, SSAValue
+
+
+class VerificationError(IRError):
+    """Raised when the IR violates a structural or dialect invariant."""
+
+
+def verify_operation(op: Operation) -> None:
+    """Verify ``op`` and all nested operations; raise on the first violation."""
+    _verify_single(op)
+    for region in op.regions:
+        for block in region.blocks:
+            _verify_block(block)
+            for nested in block.ops:
+                verify_operation(nested)
+
+
+def _verify_single(op: Operation) -> None:
+    for i, operand in enumerate(op.operands):
+        if not isinstance(operand, SSAValue):
+            raise VerificationError(
+                f"{op.name}: operand {i} is not an SSA value ({operand!r})"
+            )
+    for trait in op.traits:
+        try:
+            trait.verify(op)
+        except ValueError as err:
+            raise VerificationError(str(err)) from err
+    try:
+        op.verify_()
+    except VerificationError:
+        raise
+    except (ValueError, TypeError, AssertionError) as err:
+        raise VerificationError(f"{op.name}: {err}") from err
+
+
+def _verify_block(block: Block) -> None:
+    """Check intra-block dominance: every use must follow its definition."""
+    seen: set[int] = {id(arg) for arg in block.args}
+    for op in block.ops:
+        for operand in op.operands:
+            if isinstance(operand, OpResult):
+                defining = operand.op
+                if defining.parent is block and id(operand) not in seen:
+                    raise VerificationError(
+                        f"{op.name}: operand defined later in the same block "
+                        f"(use before def of a result of {defining.name})"
+                    )
+            elif isinstance(operand, BlockArgument):
+                # Block arguments of this block or of an enclosing block are
+                # always visible; arguments of a sibling block would indicate
+                # a malformed program but cannot be reached through normal
+                # construction APIs.
+                pass
+        for result in op.results:
+            seen.add(id(result))

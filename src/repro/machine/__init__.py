@@ -1,0 +1,60 @@
+"""Analytic performance models of the paper's evaluation platforms.
+
+These models substitute for the ARCHER2/Cirrus/Alveo hardware: they consume
+characteristics read off the compiled IR (:mod:`~repro.machine.kernel_model`)
+plus per-compiler efficiency factors (:mod:`~repro.machine.compilers`) and
+predict runtimes/throughputs whose *relative* behaviour reproduces the paper's
+figures.  Absolute numbers are indicative only.
+"""
+
+from .compilers import (
+    CPUCompilerProfile,
+    CRAY_PSYCLONE,
+    DEVITO_NATIVE,
+    GNU_PSYCLONE,
+    GPUCompilerProfile,
+    OPENACC_DEVITO,
+    PSYCLONE_NVIDIA_GPU,
+    XDSL_CPU,
+    XDSL_GPU,
+    XDSL_PSYCLONE,
+    XDSL_PSYCLONE_GPU,
+)
+from .cpu import CPUEstimate, estimate_cpu_node
+from .distributed import ScalingPoint, estimate_strong_scaling
+from .fpga_model import FPGAEstimate, estimate_fpga
+from .gpu_model import GPUEstimate, estimate_gpu
+from .kernel_model import (
+    ApplyCharacteristics,
+    ProgramCharacteristics,
+    characterize_apply,
+    characterize_module,
+)
+from .specs import (
+    ALVEO_U280,
+    ARCHER2_NODE,
+    CPUNodeSpec,
+    FPGASpec,
+    GPUSpec,
+    NetworkSpec,
+    SLINGSHOT,
+    V100,
+)
+
+__all__ = [
+    # specs
+    "CPUNodeSpec", "GPUSpec", "NetworkSpec", "FPGASpec",
+    "ARCHER2_NODE", "SLINGSHOT", "V100", "ALVEO_U280",
+    # kernel characteristics
+    "ApplyCharacteristics", "ProgramCharacteristics",
+    "characterize_apply", "characterize_module",
+    # compiler profiles
+    "CPUCompilerProfile", "GPUCompilerProfile",
+    "DEVITO_NATIVE", "XDSL_CPU", "CRAY_PSYCLONE", "GNU_PSYCLONE", "XDSL_PSYCLONE",
+    "OPENACC_DEVITO", "XDSL_GPU", "PSYCLONE_NVIDIA_GPU", "XDSL_PSYCLONE_GPU",
+    # models
+    "CPUEstimate", "estimate_cpu_node",
+    "ScalingPoint", "estimate_strong_scaling",
+    "GPUEstimate", "estimate_gpu",
+    "FPGAEstimate", "estimate_fpga",
+]

@@ -1,0 +1,97 @@
+"""Single-node CPU performance model (roofline + OpenMP region overhead)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .compilers import CPUCompilerProfile
+from .kernel_model import ProgramCharacteristics
+from .specs import CPUNodeSpec
+
+
+@dataclass
+class CPUEstimate:
+    """Predicted execution of a stencil program on one node."""
+
+    seconds: float
+    compute_seconds: float
+    memory_seconds: float
+    overhead_seconds: float
+    cells_updated: float
+
+    @property
+    def gpoints_per_second(self) -> float:
+        return self.cells_updated / self.seconds / 1e9 if self.seconds > 0 else 0.0
+
+
+def estimate_cpu_node(
+    program: ProgramCharacteristics,
+    timesteps: int,
+    node: CPUNodeSpec,
+    profile: CPUCompilerProfile,
+    *,
+    dtype_bytes: int = 4,
+    threads: int | None = None,
+) -> CPUEstimate:
+    """Estimate single-node execution time of ``timesteps`` steps of ``program``.
+
+    Per time step every stencil region is either bandwidth-bound or
+    compute-bound (roofline); each region additionally pays one OpenMP
+    fork/join + barrier (paper: limitation of the scf-to-openmp lowering).
+    """
+    thread_fraction = 1.0
+    if threads is not None and threads < node.cores:
+        thread_fraction = threads / node.cores
+
+    peak_flops = node.peak_flops(single_precision=dtype_bytes == 4) * thread_fraction
+    peak_bandwidth = node.peak_bandwidth() * min(1.0, thread_fraction * 2.0)
+
+    compute_seconds = 0.0
+    memory_seconds = 0.0
+    overhead_seconds = 0.0
+    per_step = 0.0
+    for apply_chars in program.applies:
+        flops = apply_chars.flops_per_cell * apply_chars.cells_per_step * profile.flop_reduction
+        traffic = apply_chars.bytes_per_cell(dtype_bytes) * apply_chars.cells_per_step
+        traffic *= _traffic_inflation(apply_chars, node, profile, dtype_bytes)
+        t_compute = flops / (peak_flops * profile.vector_efficiency)
+        t_memory = traffic / (peak_bandwidth * profile.bandwidth_efficiency)
+        region_time = max(t_compute, t_memory) + profile.omp_region_overhead_s
+        per_step += region_time
+        compute_seconds += t_compute * timesteps
+        memory_seconds += t_memory * timesteps
+        overhead_seconds += profile.omp_region_overhead_s * timesteps
+
+    total = per_step * timesteps
+    cells = program.cells_per_step * timesteps
+    return CPUEstimate(
+        seconds=total,
+        compute_seconds=compute_seconds,
+        memory_seconds=memory_seconds,
+        overhead_seconds=overhead_seconds,
+        cells_updated=cells,
+    )
+
+
+def _traffic_inflation(apply_chars, node: CPUNodeSpec, profile: CPUCompilerProfile,
+                       dtype_bytes: int) -> float:
+    """Memory-traffic inflation due to imperfect cache reuse.
+
+    * 3D kernels whose plane working set (one plane per stencil radius per
+      input field) does not fit the last-level cache slice reload neighbour
+      planes from DRAM; how badly depends on the code generator's blocking
+      (``cache_spill_3d``).
+    * Blocked 2D code reloads halo cells at tile edges proportionally to the
+      space order (``halo_reload_2d``).
+    """
+    radius = max([*apply_chars.halo_lower, *apply_chars.halo_upper, 0])
+    if apply_chars.rank >= 3 and profile.cache_spill_3d > 0.0 and radius >= 2:
+        plane_cells = apply_chars.cells_per_step ** (2.0 / 3.0)
+        footprint = (
+            (2 * radius + 1) * plane_cells * dtype_bytes * max(apply_chars.input_fields, 1)
+        )
+        if footprint > node.llc_slice_bytes:
+            return 1.0 + profile.cache_spill_3d * min(radius, 2)
+    if apply_chars.rank == 2 and profile.halo_reload_2d > 0.0:
+        return 1.0 + profile.halo_reload_2d * 2 * radius
+    return 1.0

@@ -1,0 +1,141 @@
+"""Multi-node strong-scaling model (compute roofline + alpha-beta communication)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from .compilers import CPUCompilerProfile
+from .cpu import estimate_cpu_node
+from .kernel_model import ProgramCharacteristics
+from .specs import CPUNodeSpec, NetworkSpec
+
+
+@dataclass
+class ScalingPoint:
+    """Predicted execution at one node count of a strong-scaling sweep."""
+
+    nodes: int
+    seconds: float
+    compute_seconds: float
+    communication_seconds: float
+    cells_updated: float
+
+    @property
+    def gpoints_per_second(self) -> float:
+        return self.cells_updated / self.seconds / 1e9 if self.seconds > 0 else 0.0
+
+    @property
+    def parallel_efficiency(self) -> float:
+        return self.compute_seconds / self.seconds if self.seconds > 0 else 0.0
+
+
+def _decompose(extent_shape: Sequence[int], total_ranks: int, decomposed_dims: int) -> list[int]:
+    """A near-cubic factorisation of ``total_ranks`` over ``decomposed_dims`` dims."""
+    grid = [1] * decomposed_dims
+    remaining = total_ranks
+    dim = 0
+    while remaining > 1:
+        factor = 2
+        while remaining % factor != 0:
+            factor += 1
+        grid[dim % decomposed_dims] *= factor
+        remaining //= factor
+        dim += 1
+    return grid
+
+
+def estimate_strong_scaling(
+    program: ProgramCharacteristics,
+    global_shape: Sequence[int],
+    timesteps: int,
+    node_counts: Sequence[int],
+    node: CPUNodeSpec,
+    network: NetworkSpec,
+    profile: CPUCompilerProfile,
+    *,
+    ranks_per_node: int = 8,
+    dtype_bytes: int = 4,
+    decomposed_dims: int | None = None,
+) -> list[ScalingPoint]:
+    """Strong-scaling sweep: fixed global problem, growing node counts.
+
+    Per time step every rank computes its slab (single-node roofline scaled to
+    the per-rank share of the node) and exchanges its halos with an alpha-beta
+    cost; profiles with computation/communication overlap hide part of the
+    exchange behind the compute phase.
+    """
+    global_cells = 1
+    for extent in global_shape:
+        global_cells *= int(extent)
+    halo_lower, halo_upper = program.combined_halo()
+    rank_dims = decomposed_dims if decomposed_dims is not None else len(global_shape)
+    rank_dims = min(rank_dims, len(global_shape))
+
+    points: list[ScalingPoint] = []
+    for nodes in node_counts:
+        total_ranks = nodes * ranks_per_node
+        grid = _decompose(global_shape, total_ranks, rank_dims)
+        local_shape = [
+            max(1, int(extent) // grid[dim]) if dim < rank_dims else int(extent)
+            for dim, extent in enumerate(global_shape)
+        ]
+        local_cells = 1
+        for extent in local_shape:
+            local_cells *= extent
+
+        # Per-node compute: scale the per-step program characteristics to the
+        # node's share of the global domain.
+        node_share = local_cells * ranks_per_node / global_cells
+        scaled = ProgramCharacteristics(applies=[])
+        for apply_chars in program.applies:
+            scaled_chars = type(apply_chars)(
+                rank=apply_chars.rank,
+                accesses=apply_chars.accesses,
+                flops_per_cell=apply_chars.flops_per_cell,
+                input_fields=apply_chars.input_fields,
+                output_fields=apply_chars.output_fields,
+                halo_lower=apply_chars.halo_lower,
+                halo_upper=apply_chars.halo_upper,
+                cells_per_step=max(1, int(apply_chars.cells_per_step * node_share)),
+            )
+            scaled.applies.append(scaled_chars)
+        node_estimate = estimate_cpu_node(
+            scaled, 1, node, profile, dtype_bytes=dtype_bytes
+        )
+        compute_per_step = node_estimate.seconds
+
+        # Per-rank halo volume: two faces per decomposed dimension.
+        halo_bytes = 0
+        messages = 0
+        for dim in range(rank_dims):
+            if grid[dim] == 1:
+                continue
+            face = 1
+            for other_dim, extent in enumerate(local_shape):
+                if other_dim != dim:
+                    face *= extent
+            width = max(halo_lower[dim] if dim < len(halo_lower) else 1, 1)
+            halo_bytes += 2 * face * width * dtype_bytes
+            messages += 2
+        swaps_per_step = max(1, program.stencil_regions)
+        comm_per_step = swaps_per_step * (
+            messages * network.latency_s
+            + halo_bytes / (network.bandwidth_gbs * 1e9 / ranks_per_node)
+        )
+        if nodes > 128:
+            comm_per_step *= network.inter_group_penalty
+        hidden = profile.comm_overlap * min(comm_per_step, compute_per_step)
+        step_time = compute_per_step + comm_per_step - hidden
+
+        total = step_time * timesteps
+        points.append(
+            ScalingPoint(
+                nodes=nodes,
+                seconds=total,
+                compute_seconds=compute_per_step * timesteps,
+                communication_seconds=(comm_per_step - hidden) * timesteps,
+                cells_updated=float(global_cells) * timesteps,
+            )
+        )
+    return points

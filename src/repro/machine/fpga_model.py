@@ -1,0 +1,73 @@
+"""FPGA dataflow performance model (paper Table 1, Stencil-HMLS).
+
+Two configurations are modelled:
+
+* *initial*: the unchanged Von Neumann formulation placed on the FPGA - the
+  loop is not pipelined across stencil accesses, and every access pays the
+  external DDR latency.  Throughput is cycles-bound at roughly
+  ``points * ddr_latency`` cycles per cell.
+* *optimized*: the compiler restructures the kernel into dataflow stages with
+  a 3D shift buffer; the pipeline computes one cell per cycle (II = 1) and
+  reads a single new value from DDR per cycle, so throughput is
+  ``min(clock * efficiency, DDR bandwidth limit)`` cells per second, divided
+  by the number of stencil regions that must run back to back.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .kernel_model import ProgramCharacteristics
+from .specs import FPGASpec
+
+
+@dataclass
+class FPGAEstimate:
+    """Predicted FPGA execution."""
+
+    seconds: float
+    cells_updated: float
+    cycles_per_cell: float
+
+    @property
+    def gpoints_per_second(self) -> float:
+        return self.cells_updated / self.seconds / 1e9 if self.seconds > 0 else 0.0
+
+
+def estimate_fpga(
+    program: ProgramCharacteristics,
+    timesteps: int,
+    fpga: FPGASpec,
+    *,
+    optimized: bool,
+    dtype_bytes: int = 4,
+) -> FPGAEstimate:
+    """Estimate FPGA execution time of a stencil program."""
+    clock = fpga.cycles_per_second()
+    total_seconds = 0.0
+    total_cells = program.cells_per_step * timesteps
+    cycles_per_cell_acc = 0.0
+
+    if optimized:
+        # The dataflow transformation chains stencil regions into pipelines;
+        # on-chip resources (DSPs / BRAM for shift buffers) bound how many
+        # regions fit one pipeline, so long kernels need several passes.
+        passes = max(1, -(-program.stencil_regions // 8))
+        cells = program.cells_per_step
+        cycles_per_cell = passes / fpga.pipeline_efficiency
+        ddr_limited = passes * (dtype_bytes * cells) / (fpga.ddr_bandwidth_gbs * 1e9)
+        total_seconds = max(cells * cycles_per_cell / clock, ddr_limited)
+        cycles_per_cell_acc = cycles_per_cell
+    else:
+        for apply_chars in program.applies:
+            cells = apply_chars.cells_per_step
+            # Unpipelined: every stencil access is an individual DDR transaction.
+            cycles_per_cell = apply_chars.stencil_points * fpga.ddr_latency_cycles
+            total_seconds += cells * cycles_per_cell / clock
+            cycles_per_cell_acc += cycles_per_cell
+
+    return FPGAEstimate(
+        seconds=total_seconds * timesteps,
+        cells_updated=total_cells,
+        cycles_per_cell=cycles_per_cell_acc,
+    )

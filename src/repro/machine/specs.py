@@ -1,0 +1,139 @@
+"""Hardware descriptions of the paper's evaluation platforms.
+
+The parameters are taken from the paper's §6 description and public
+specifications of the machines:
+
+* ARCHER2 compute node: dual AMD EPYC 7742 (128 cores, 2.25 GHz, AVX2),
+  8 NUMA regions, HPE Slingshot interconnect (200 Gb/s per node, dragonfly).
+* Cirrus GPU node: NVIDIA Tesla V100-SXM2-16GB.
+* Alveo U280 FPGA (HBM + DDR, ~300 MHz typical kernel clock for HLS designs).
+
+Only aggregate quantities that drive a roofline/alpha-beta model are kept:
+peak floating point rate, sustainable memory bandwidth, network latency and
+bandwidth, and launch/synchronisation overheads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class CPUNodeSpec:
+    """A shared-memory compute node."""
+
+    name: str
+    cores: int
+    clock_ghz: float
+    #: Double-precision vector lanes per core (AVX2: 4 doubles).
+    simd_lanes_f64: int
+    #: Fused multiply-add units per core per cycle.
+    fma_per_cycle: int
+    #: Sustainable (STREAM-like) memory bandwidth of the whole node, GB/s.
+    memory_bandwidth_gbs: float
+    numa_regions: int = 1
+    #: Last-level cache capacity usefully available to one stencil sweep
+    #: (ARCHER2: 16 MB of L3 shared by each 4-core complex).
+    llc_slice_bytes: int = 16 * 1024 * 1024
+
+    def peak_flops(self, single_precision: bool = True) -> float:
+        """Peak floating point operations per second for the whole node."""
+        lanes = self.simd_lanes_f64 * (2 if single_precision else 1)
+        # 2 flops per FMA.
+        return self.cores * self.clock_ghz * 1e9 * lanes * self.fma_per_cycle * 2
+
+    def peak_bandwidth(self) -> float:
+        return self.memory_bandwidth_gbs * 1e9
+
+
+@dataclass(frozen=True)
+class GPUSpec:
+    """A GPU accelerator."""
+
+    name: str
+    memory_bandwidth_gbs: float
+    peak_tflops_fp32: float
+    peak_tflops_fp64: float
+    #: Host-side overhead of one synchronous kernel launch, seconds.
+    kernel_launch_overhead_s: float
+    #: Extra cost per page-fault-driven (managed) memory migration, seconds per MB.
+    managed_memory_penalty_s_per_mb: float
+    pcie_bandwidth_gbs: float = 16.0
+
+    def peak_flops(self, single_precision: bool = True) -> float:
+        tflops = self.peak_tflops_fp32 if single_precision else self.peak_tflops_fp64
+        return tflops * 1e12
+
+    def peak_bandwidth(self) -> float:
+        return self.memory_bandwidth_gbs * 1e9
+
+
+@dataclass(frozen=True)
+class NetworkSpec:
+    """An interconnect between compute nodes (alpha-beta model)."""
+
+    name: str
+    #: Per-message latency, seconds (software + switch traversal).
+    latency_s: float
+    #: Injection bandwidth per node, GB/s.
+    bandwidth_gbs: float
+    #: Multiplicative penalty applied beyond one dragonfly group (128 nodes).
+    inter_group_penalty: float = 1.15
+
+    def peak_bandwidth(self) -> float:
+        return self.bandwidth_gbs * 1e9
+
+
+@dataclass(frozen=True)
+class FPGASpec:
+    """An FPGA card running HLS-synthesised stencil kernels."""
+
+    name: str
+    kernel_clock_mhz: float
+    ddr_bandwidth_gbs: float
+    #: Average DDR access latency in kernel cycles for non-streamed accesses.
+    ddr_latency_cycles: float
+    #: Fraction of the clock actually sustained by the synthesised pipeline.
+    pipeline_efficiency: float
+
+    def cycles_per_second(self) -> float:
+        return self.kernel_clock_mhz * 1e6
+
+
+#: ARCHER2 HPE Cray EX node: dual AMD EPYC 7742 (Rome), 128 cores, AVX2.
+ARCHER2_NODE = CPUNodeSpec(
+    name="ARCHER2 (2x AMD EPYC 7742)",
+    cores=128,
+    clock_ghz=2.25,
+    simd_lanes_f64=4,
+    fma_per_cycle=2,
+    memory_bandwidth_gbs=380.0,
+    numa_regions=8,
+    llc_slice_bytes=16 * 1024 * 1024,
+)
+
+#: HPE Slingshot, 200 Gb/s per node, dragonfly topology.
+SLINGSHOT = NetworkSpec(
+    name="HPE Slingshot (200 Gb/s, dragonfly)",
+    latency_s=1.8e-6,
+    bandwidth_gbs=25.0,
+)
+
+#: Cirrus GPU node accelerator: NVIDIA Tesla V100-SXM2-16GB.
+V100 = GPUSpec(
+    name="NVIDIA Tesla V100-SXM2-16GB",
+    memory_bandwidth_gbs=900.0,
+    peak_tflops_fp32=15.7,
+    peak_tflops_fp64=7.8,
+    kernel_launch_overhead_s=12e-6,
+    managed_memory_penalty_s_per_mb=2e-3,
+)
+
+#: AMD Xilinx Alveo U280.
+ALVEO_U280 = FPGASpec(
+    name="AMD Xilinx Alveo U280",
+    kernel_clock_mhz=300.0,
+    ddr_bandwidth_gbs=38.0,
+    ddr_latency_cycles=16.0,
+    pipeline_efficiency=0.55,
+)

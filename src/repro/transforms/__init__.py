@@ -1,0 +1,14 @@
+"""Compiler transformations of the shared stack.
+
+Subpackages:
+
+* :mod:`~repro.transforms.common` — CSE, DCE, LICM, constant folding.
+* :mod:`~repro.transforms.stencil` — shape inference, fusion, CPU/GPU/FPGA lowerings.
+* :mod:`~repro.transforms.smp` — scf -> OpenMP.
+* :mod:`~repro.transforms.distribute` — decomposition, dmp insertion, dmp -> mpi.
+* :mod:`~repro.transforms.mpi` — mpi -> MPI_* function calls.
+"""
+
+from . import common, distribute, mpi, smp, stencil
+
+__all__ = ["common", "distribute", "mpi", "smp", "stencil"]

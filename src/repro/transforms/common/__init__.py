@@ -1,0 +1,15 @@
+"""General-purpose optimisation passes shared by every lowering pipeline."""
+
+from .canonicalize import CanonicalizePass, canonicalize
+from .constant_folding import ConstantFoldingPass, fold_constants
+from .cse import CommonSubexpressionEliminationPass, eliminate_common_subexpressions
+from .dce import DeadCodeEliminationPass, eliminate_dead_code
+from .licm import LoopInvariantCodeMotionPass, hoist_loop_invariant_code
+
+__all__ = [
+    "CanonicalizePass", "canonicalize",
+    "ConstantFoldingPass", "fold_constants",
+    "CommonSubexpressionEliminationPass", "eliminate_common_subexpressions",
+    "DeadCodeEliminationPass", "eliminate_dead_code",
+    "LoopInvariantCodeMotionPass", "hoist_loop_invariant_code",
+]

@@ -1,0 +1,176 @@
+"""The global-to-local pass: distribute a stencil program over MPI ranks.
+
+This is the "shared pass that automatically prepares stencil programs for
+distributed execution" of paper §4.2.  Given a rank topology and a
+decomposition strategy it
+
+1. computes the halo each field needs from the ``stencil.access`` offsets of
+   every ``stencil.apply`` in the function,
+2. rewrites every ``!stencil.field`` (and dependent temp) type from the global
+   bounds to the rank-local bounds (core at ``[0, n)`` plus halo),
+3. shrinks every ``stencil.store`` range to the local core, and
+4. inserts a ``dmp.swap`` in front of every ``stencil.load`` so neighbouring
+   ranks hold up-to-date halo data before each stencil computation.
+
+The produced module is SPMD: every rank executes the same IR; which slab of
+the global domain a rank owns is decided by the runtime (data scatter/gather
+in the executor) and by the neighbour checks emitted when lowering dmp to mpi.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ...dialects import builtin, func, scf, stencil
+from ...dialects.builtin import UnrealizedConversionCastOp
+from ...dialects.dmp import SwapOp
+from ...ir.builder import Builder
+from ...ir.context import MLContext
+from ...ir.core import Operation, SSAValue
+from ...ir.pass_manager import ModulePass, PassRegistry
+from ...ir.types import FunctionType, MemRefType
+from ..stencil.shape_inference import infer_shapes
+from .decomposition import DecompositionError, DecompositionStrategy, LocalDomain
+
+
+@dataclass
+class DistributionSummary:
+    """What the global-to-local pass did (used by tests and the cost model)."""
+
+    global_shape: tuple[int, ...]
+    local_domain: LocalDomain
+    swaps_inserted: int
+    halo_elements_per_swap: int
+
+
+def _collect_global_bounds(module: Operation) -> stencil.StencilBoundsAttr:
+    """The common store bounds of the program == the global compute domain."""
+    bounds: Optional[stencil.StencilBoundsAttr] = None
+    for op in module.walk():
+        if isinstance(op, stencil.StoreOp):
+            if bounds is None:
+                bounds = op.bounds
+            elif bounds != op.bounds:
+                raise DecompositionError(
+                    "all stencil.store operations must share the same global bounds "
+                    "to be distributed automatically"
+                )
+    if bounds is None:
+        raise DecompositionError("no stencil.store found; nothing to distribute")
+    return bounds
+
+
+def _retype_fields(module: Operation, new_bounds: stencil.StencilBoundsAttr) -> int:
+    """Give every field-typed SSA value the local bounds; returns the count."""
+    retyped = 0
+
+    def new_field_type(old: stencil.FieldType) -> stencil.FieldType:
+        return stencil.FieldType(new_bounds, old.element_type)
+
+    for op in module.walk():
+        for result in op.results:
+            if isinstance(result.type, stencil.FieldType):
+                result.type = new_field_type(result.type)
+                retyped += 1
+        for region in op.regions:
+            for block in region.blocks:
+                for arg in block.args:
+                    if isinstance(arg.type, stencil.FieldType):
+                        arg.type = new_field_type(arg.type)
+                        retyped += 1
+        if isinstance(op, func.FuncOp):
+            ftype = op.function_type
+            new_inputs = [
+                new_field_type(t) if isinstance(t, stencil.FieldType) else t
+                for t in ftype.inputs
+            ]
+            new_outputs = [
+                new_field_type(t) if isinstance(t, stencil.FieldType) else t
+                for t in ftype.outputs
+            ]
+            op.attributes["function_type"] = FunctionType(new_inputs, new_outputs)
+    return retyped
+
+
+def _reset_temp_types(module: Operation) -> None:
+    """Drop stale (global) bounds from temps so shape inference recomputes them."""
+    for op in module.walk():
+        if isinstance(op, stencil.LoadOp):
+            field_type = op.field.type
+            assert isinstance(field_type, stencil.FieldType)
+            op.result.type = stencil.TempType(field_type.bounds, field_type.element_type)
+        if isinstance(op, stencil.ApplyOp):
+            for arg, operand in zip(op.region_args, op.operands):
+                arg.type = operand.type
+
+
+def distribute_stencil(
+    module: Operation,
+    strategy: DecompositionStrategy,
+) -> DistributionSummary:
+    """Apply the global-to-local transformation in place."""
+    applies = stencil.apply_ops_of(module)
+    if not applies:
+        raise DecompositionError("module contains no stencil.apply operations")
+    halo_lower, halo_upper = stencil.combined_halo(applies)
+
+    global_bounds = _collect_global_bounds(module)
+    global_shape = global_bounds.shape
+    domain = strategy.local_domain(global_shape, halo_lower, halo_upper)
+    local_field_bounds = domain.field_bounds()
+    local_store_bounds = domain.compute_bounds()
+
+    # 1. Retype fields to the local buffer bounds.
+    _retype_fields(module, local_field_bounds)
+
+    # 2. Shrink stores to the local core.
+    for op in module.walk():
+        if isinstance(op, stencil.StoreOp):
+            op.attributes["bounds"] = local_store_bounds
+
+    # 3. Temps follow from the new field types / store bounds.
+    _reset_temp_types(module)
+    infer_shapes(module)
+
+    # 4. Insert a dmp.swap before every stencil.load.
+    grid = strategy.rank_grid()
+    exchanges = strategy.exchanges(domain)
+    swaps = 0
+    for op in list(module.walk()):
+        if not isinstance(op, stencil.LoadOp):
+            continue
+        builder = Builder.before(op)
+        cast = builder.insert(
+            UnrealizedConversionCastOp.get(
+                op.field, MemRefType(domain.buffer_shape, _element_type_of(op.field))
+            )
+        )
+        builder.insert(SwapOp(cast.output, grid, exchanges))
+        swaps += 1
+
+    return DistributionSummary(
+        global_shape=tuple(global_shape),
+        local_domain=domain,
+        swaps_inserted=swaps,
+        halo_elements_per_swap=sum(e.element_count() for e in exchanges),
+    )
+
+
+def _element_type_of(field: SSAValue):
+    field_type = field.type
+    assert isinstance(field_type, stencil.FieldType)
+    return field_type.element_type
+
+
+class DistributeStencilPass(ModulePass):
+    """Decompose the stencil domain over a rank grid and insert halo swaps."""
+
+    name = "distribute-stencil"
+
+    def __init__(self, strategy: DecompositionStrategy):
+        self.strategy = strategy
+        self.summary: Optional[DistributionSummary] = None
+
+    def apply(self, ctx: MLContext, module: Operation) -> None:
+        self.summary = distribute_stencil(module, self.strategy)

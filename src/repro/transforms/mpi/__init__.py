@@ -1,0 +1,14 @@
+"""MPI dialect lowerings (mpi -> MPI_* function calls)."""
+
+from .mpi_to_func import (
+    ConvertMPIToFuncPass,
+    MPICH_COMM_WORLD,
+    MPICH_DATATYPE_CONSTANTS,
+    datatype_constant_for,
+    lower_mpi_to_func,
+)
+
+__all__ = [
+    "ConvertMPIToFuncPass", "lower_mpi_to_func", "datatype_constant_for",
+    "MPICH_COMM_WORLD", "MPICH_DATATYPE_CONSTANTS",
+]

@@ -1,0 +1,11 @@
+"""Shared-memory parallelism transformations (scf -> OpenMP)."""
+
+from .convert_scf_to_openmp import (
+    ConvertSCFToOpenMPPass,
+    convert_scf_to_openmp,
+    count_parallel_regions,
+)
+
+__all__ = [
+    "ConvertSCFToOpenMPPass", "convert_scf_to_openmp", "count_parallel_regions",
+]

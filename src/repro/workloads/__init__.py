@@ -1,0 +1,32 @@
+"""Benchmark workload generators for the paper's evaluation kernels."""
+
+from .devito_workloads import (
+    PAPER_PROBLEM_SIZES,
+    PAPER_SPACE_ORDERS,
+    PAPER_TIMESTEPS,
+    DevitoWorkload,
+    acoustic_wave,
+    heat_diffusion,
+    kernel_label,
+    paper_workload,
+)
+from .psyclone_workloads import (
+    PAPER_PW_SCALING_SHAPE,
+    PAPER_PW_SIZES_CPU,
+    PAPER_PW_SIZES_GPU,
+    PAPER_TRAADV_SCALING_SHAPE,
+    PAPER_TRAADV_SIZES_CPU,
+    PAPER_TRAADV_SIZES_GPU,
+    PsycloneWorkload,
+    pw_advection,
+    tracer_advection,
+)
+
+__all__ = [
+    "DevitoWorkload", "heat_diffusion", "acoustic_wave", "paper_workload",
+    "kernel_label", "PAPER_PROBLEM_SIZES", "PAPER_TIMESTEPS", "PAPER_SPACE_ORDERS",
+    "PsycloneWorkload", "pw_advection", "tracer_advection",
+    "PAPER_PW_SIZES_CPU", "PAPER_TRAADV_SIZES_CPU",
+    "PAPER_PW_SIZES_GPU", "PAPER_TRAADV_SIZES_GPU",
+    "PAPER_PW_SCALING_SHAPE", "PAPER_TRAADV_SCALING_SHAPE",
+]

@@ -1,0 +1,77 @@
+"""Shared fixtures: small stencil programs used across the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.dialects import arith, builtin, func, scf, stencil
+from repro.ir import Builder, FunctionType, default_context, f64, index
+
+
+@pytest.fixture
+def ctx():
+    return default_context()
+
+
+def build_jacobi_module(n: int = 8, halo: int = 1, coefficient: float = 1.0 / 3.0):
+    """A double-buffered 1D Jacobi smoother at the stencil level.
+
+    kernel(%u : field, %v : field, %steps : index) iterates ``steps`` times,
+    each step computing v = (u[-1] + u[0] + u[1]) * coefficient over [0, n)
+    and swapping the two buffers.
+    """
+    field_bounds = stencil.StencilBoundsAttr([-halo], [n + halo])
+    store_bounds = stencil.StencilBoundsAttr([0], [n])
+    field_type = stencil.FieldType(field_bounds, f64)
+
+    kernel = func.FuncOp("kernel", FunctionType([field_type, field_type, index], []))
+    u_arg, v_arg, steps = kernel.args
+    builder = Builder.at_end(kernel.body.block)
+    zero = builder.insert(arith.ConstantOp.from_int(0)).result
+    one = builder.insert(arith.ConstantOp.from_int(1)).result
+    loop = scf.ForOp(zero, steps, one, iter_args=[u_arg, v_arg])
+    builder.insert(loop)
+    builder.insert(func.ReturnOp([]))
+
+    body = Builder.at_end(loop.body.block)
+    current, nxt = loop.body.block.args[1], loop.body.block.args[2]
+    load = body.insert(stencil.LoadOp(current))
+    apply_op = stencil.ApplyOp([load.result], [stencil.TempType(store_bounds, f64)])
+    body.insert(apply_op)
+    inner = Builder.at_end(apply_op.body.block)
+    arg = apply_op.region_args[0]
+    left = inner.insert(stencil.AccessOp(arg, [-1])).result
+    centre = inner.insert(stencil.AccessOp(arg, [0])).result
+    right = inner.insert(stencil.AccessOp(arg, [1])).result
+    scale = inner.insert(arith.ConstantOp.from_float(coefficient, f64)).result
+    total = inner.insert(arith.AddfOp(inner.insert(arith.AddfOp(left, centre)).result, right)).result
+    inner.insert(stencil.ReturnOp([inner.insert(arith.MulfOp(total, scale)).result]))
+    body.insert(stencil.StoreOp(apply_op.results[0], nxt, store_bounds))
+    body.insert(scf.YieldOp([nxt, current]))
+    return builtin.ModuleOp([kernel])
+
+
+def jacobi_reference(initial: np.ndarray, steps: int, halo: int = 1,
+                     coefficient: float = 1.0 / 3.0) -> np.ndarray:
+    """Numpy reference for :func:`build_jacobi_module` (returns the latest buffer)."""
+    n = initial.shape[0] - 2 * halo
+    a = initial.astype(np.float64).copy()
+    b = a.copy()
+    for _ in range(steps):
+        for i in range(n):
+            b[halo + i] = (a[halo + i - 1] + a[halo + i] + a[halo + i + 1]) * coefficient
+        a, b = b, a
+    return a
+
+
+@pytest.fixture
+def jacobi_module():
+    return build_jacobi_module()
+
+
+@pytest.fixture
+def jacobi_initial():
+    data = np.zeros(10)
+    data[1:9] = np.arange(8, dtype=float)
+    return data

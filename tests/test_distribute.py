@@ -1,0 +1,213 @@
+"""Tests of decomposition, the global-to-local pass, swap elimination and MPI lowering."""
+
+import numpy as np
+import pytest
+
+from repro.dialects import builtin, dmp, func, mpi, scf, stencil
+from repro.interp import Interpreter, SimulatedMPI
+from repro.transforms.common import canonicalize
+from repro.transforms.distribute import (
+    DecompositionError,
+    GridSlicingStrategy,
+    communicated_elements_per_step,
+    distribute_stencil,
+    eliminate_redundant_swaps,
+    lower_dmp_to_mpi,
+)
+from repro.transforms.mpi import (
+    MPICH_COMM_WORLD,
+    MPICH_DATATYPE_CONSTANTS,
+    datatype_constant_for,
+    lower_mpi_to_func,
+)
+from repro.transforms.stencil import lower_stencil_to_scf
+from repro.ir import f32, f64, i32, i64
+from tests.conftest import build_jacobi_module, jacobi_reference
+
+
+class TestDecompositionStrategy:
+    def test_local_domain_shapes(self):
+        strategy = GridSlicingStrategy([2, 2])
+        domain = strategy.local_domain((8, 8), (1, 1), (1, 1))
+        assert domain.core_shape == (4, 4)
+        assert domain.buffer_shape == (6, 6)
+        assert domain.field_bounds() == stencil.StencilBoundsAttr([-1, -1], [5, 5])
+        assert domain.compute_bounds() == stencil.StencilBoundsAttr([0, 0], [4, 4])
+
+    def test_trailing_dimensions_not_decomposed(self):
+        strategy = GridSlicingStrategy([4])
+        domain = strategy.local_domain((16, 8, 8), (1, 1, 1), (1, 1, 1))
+        assert domain.core_shape == (4, 8, 8)
+
+    def test_indivisible_domain_rejected(self):
+        with pytest.raises(DecompositionError):
+            GridSlicingStrategy([3]).local_domain((8,), (1,), (1,))
+
+    def test_too_many_grid_dims_rejected(self):
+        with pytest.raises(DecompositionError):
+            GridSlicingStrategy([2, 2, 2]).local_domain((8, 8), (1, 1), (1, 1))
+
+    def test_exchanges_cover_both_directions(self):
+        strategy = GridSlicingStrategy([2, 2])
+        domain = strategy.local_domain((8, 8), (1, 1), (1, 1))
+        exchanges = strategy.exchanges(domain)
+        assert len(exchanges) == 4  # two directions per decomposed dimension
+        neighbours = {e.neighbor for e in exchanges}
+        assert neighbours == {(-1, 0), (1, 0), (0, -1), (0, 1)}
+        assert all(e.element_count() == 4 for e in exchanges)
+
+    def test_singleton_grid_dimension_has_no_exchanges(self):
+        strategy = GridSlicingStrategy([1, 4])
+        domain = strategy.local_domain((8, 8), (1, 1), (1, 1))
+        exchanges = strategy.exchanges(domain)
+        assert all(e.neighbor[0] == 0 for e in exchanges)
+        assert len(exchanges) == 2
+
+    def test_communicated_elements(self):
+        strategy = GridSlicingStrategy([2])
+        total = communicated_elements_per_step(strategy, (8, 8), (1, 1), (1, 1))
+        assert total == 16  # two faces of 8 elements each
+
+    def test_global_slab(self):
+        strategy = GridSlicingStrategy([2, 2])
+        assert strategy.global_slab((8, 8), 0) == ((0, 0), (4, 4))
+        assert strategy.global_slab((8, 8), 3) == ((4, 4), (8, 8))
+
+
+class TestDistributePass:
+    def test_field_types_and_store_bounds_localised(self):
+        module = build_jacobi_module(n=8)
+        summary = distribute_stencil(module, GridSlicingStrategy([2]))
+        assert summary.global_shape == (8,)
+        assert summary.local_domain.core_shape == (4,)
+        assert summary.swaps_inserted == 1
+        kernel = next(op for op in module.walk() if isinstance(op, func.FuncOp))
+        field_type = kernel.function_type.inputs[0]
+        assert field_type.bounds == stencil.StencilBoundsAttr([-1], [5])
+        store = next(op for op in module.walk() if isinstance(op, stencil.StoreOp))
+        assert store.bounds == stencil.StencilBoundsAttr([0], [4])
+
+    def test_swap_inserted_before_each_load(self):
+        module = build_jacobi_module()
+        distribute_stencil(module, GridSlicingStrategy([2]))
+        swaps = [op for op in module.walk() if isinstance(op, dmp.SwapOp)]
+        loads = [op for op in module.walk() if isinstance(op, stencil.LoadOp)]
+        assert len(swaps) == len(loads) == 1
+        assert swaps[0].grid == dmp.GridAttr([2])
+
+    def test_redundant_swaps_eliminated(self):
+        module = build_jacobi_module()
+        distribute_stencil(module, GridSlicingStrategy([2]))
+        # Duplicate every swap to simulate conservative insertion.
+        for swap in [op for op in module.walk() if isinstance(op, dmp.SwapOp)]:
+            block = swap.parent_block
+            clone = swap.clone()
+            block.insert_op_after(clone, swap)
+        assert eliminate_redundant_swaps(module) == 1
+        assert len([op for op in module.walk() if isinstance(op, dmp.SwapOp)]) == 1
+
+    def test_module_without_stencils_rejected(self):
+        module = builtin.ModuleOp([])
+        with pytest.raises(DecompositionError):
+            distribute_stencil(module, GridSlicingStrategy([2]))
+
+
+class TestDmpToMPI:
+    def lowered_module(self):
+        module = build_jacobi_module()
+        distribute_stencil(module, GridSlicingStrategy([2]))
+        lower_stencil_to_scf(module)
+        lower_dmp_to_mpi(module)
+        module.verify()
+        return module
+
+    def test_lowering_structure(self):
+        module = self.lowered_module()
+        names = [op.name for op in module.walk()]
+        assert "dmp.swap" not in names
+        assert names.count("mpi.isend") == 2
+        assert names.count("mpi.irecv") == 2
+        assert names.count("mpi.waitall") == 1
+        assert "mpi.comm_rank" in names
+        # Out-of-grid neighbours fall back to null requests in the else branch.
+        assert "mpi.set_null_request" in names
+
+    def test_distributed_execution_matches_reference(self, jacobi_initial):
+        module = self.lowered_module()
+        canonicalize(module)
+        steps = 3
+        world = SimulatedMPI(2)
+        expected = jacobi_reference(jacobi_initial, steps)
+        locals_a = [jacobi_initial[0:6].copy(), jacobi_initial[4:10].copy()]
+        locals_b = [arr.copy() for arr in locals_a]
+
+        def body(comm):
+            Interpreter(module, comm=comm).call(
+                "kernel", locals_a[comm.rank], locals_b[comm.rank], steps
+            )
+
+        world.run_spmd(body)
+        gathered = jacobi_initial.copy()
+        for rank in range(2):
+            source = locals_a[rank] if steps % 2 == 0 else locals_b[rank]
+            gathered[1 + rank * 4 : 1 + rank * 4 + 4] = source[1:5]
+        assert np.allclose(gathered, expected)
+        assert world.statistics.messages_sent == 2 * steps
+
+
+class TestMPIToFunc:
+    def test_magic_constants(self):
+        assert datatype_constant_for(f32) == MPICH_DATATYPE_CONSTANTS["f32"]
+        assert datatype_constant_for(f64) == MPICH_DATATYPE_CONSTANTS["f64"]
+        assert datatype_constant_for(i32) == MPICH_DATATYPE_CONSTANTS["i32"]
+        assert datatype_constant_for(i64) == MPICH_DATATYPE_CONSTANTS["i64"]
+        with pytest.raises(ValueError):
+            datatype_constant_for(object())
+
+    def test_mpi_ops_become_library_calls(self):
+        module = build_jacobi_module()
+        distribute_stencil(module, GridSlicingStrategy([2]))
+        lower_stencil_to_scf(module)
+        lower_dmp_to_mpi(module)
+        lower_mpi_to_func(module)
+        module.verify()
+        names = [op.name for op in module.walk()]
+        assert not any(
+            name.startswith("mpi.") and name not in (
+                "mpi.allocate_requests", "mpi.get_request", "mpi.set_null_request"
+            )
+            for name in names
+        )
+        callees = {op.callee for op in module.walk() if isinstance(op, func.CallOp)}
+        assert {"MPI_Comm_rank", "MPI_Isend", "MPI_Irecv", "MPI_Waitall"} <= callees
+        declarations = {
+            op.sym_name
+            for op in module.walk()
+            if isinstance(op, func.FuncOp) and op.is_declaration
+        }
+        assert "MPI_Isend" in declarations
+
+    def test_library_call_execution_matches_reference(self, jacobi_initial):
+        module = build_jacobi_module()
+        distribute_stencil(module, GridSlicingStrategy([2]))
+        lower_stencil_to_scf(module)
+        lower_dmp_to_mpi(module)
+        lower_mpi_to_func(module)
+        canonicalize(module)
+        steps = 2
+        world = SimulatedMPI(2)
+        locals_a = [jacobi_initial[0:6].copy(), jacobi_initial[4:10].copy()]
+        locals_b = [arr.copy() for arr in locals_a]
+
+        def body(comm):
+            Interpreter(module, comm=comm).call(
+                "kernel", locals_a[comm.rank], locals_b[comm.rank], steps
+            )
+
+        world.run_spmd(body)
+        expected = jacobi_reference(jacobi_initial, steps)
+        gathered = jacobi_initial.copy()
+        for rank in range(2):
+            source = locals_a[rank] if steps % 2 == 0 else locals_b[rank]
+            gathered[1 + rank * 4 : 1 + rank * 4 + 4] = source[1:5]
+        assert np.allclose(gathered, expected)

@@ -1,0 +1,149 @@
+"""Tests of the simulated MPI runtime (point-to-point, collectives, SPMD driver)."""
+
+import numpy as np
+import pytest
+
+from repro.interp import MPIRuntimeError, SimulatedMPI
+
+
+class TestPointToPoint:
+    def test_send_recv(self):
+        world = SimulatedMPI(2, timeout=5.0)
+
+        def body(comm):
+            if comm.rank == 0:
+                comm.send(np.array([1.0, 2.0, 3.0]), dest=1, tag=7)
+                return None
+            buffer = np.zeros(3)
+            comm.recv(buffer, source=0, tag=7)
+            return buffer
+
+        results = world.run_spmd(body)
+        assert np.allclose(results[1], [1.0, 2.0, 3.0])
+        assert world.statistics.messages_sent == 1
+        assert world.statistics.bytes_sent == 24
+
+    def test_nonblocking_exchange(self):
+        world = SimulatedMPI(2, timeout=5.0)
+
+        def body(comm):
+            other = 1 - comm.rank
+            outgoing = np.full(4, float(comm.rank))
+            incoming = np.zeros(4)
+            requests = [comm.irecv(incoming, source=other, tag=1),
+                        comm.isend(outgoing, dest=other, tag=1)]
+            comm.waitall(requests)
+            return incoming
+
+        results = world.run_spmd(body)
+        assert np.allclose(results[0], 1.0)
+        assert np.allclose(results[1], 0.0)
+
+    def test_messages_matched_by_tag(self):
+        world = SimulatedMPI(2, timeout=5.0)
+
+        def body(comm):
+            if comm.rank == 0:
+                comm.send(np.array([1.0]), dest=1, tag=1)
+                comm.send(np.array([2.0]), dest=1, tag=2)
+                return None
+            second = np.zeros(1)
+            first = np.zeros(1)
+            comm.recv(second, source=0, tag=2)
+            comm.recv(first, source=0, tag=1)
+            return (first[0], second[0])
+
+        results = world.run_spmd(body)
+        assert results[1] == (1.0, 2.0)
+
+    def test_recv_timeout_raises(self):
+        world = SimulatedMPI(2, timeout=0.2)
+
+        def body(comm):
+            if comm.rank == 1:
+                comm.recv(np.zeros(1), source=0, tag=9)
+            return None
+
+        with pytest.raises(MPIRuntimeError):
+            world.run_spmd(body, timeout=2.0)
+
+    def test_test_polls_completion(self):
+        world = SimulatedMPI(2, timeout=5.0)
+
+        def body(comm):
+            if comm.rank == 0:
+                comm.send(np.array([5.0]), dest=1, tag=0)
+                return True
+            buffer = np.zeros(1)
+            request = comm.irecv(buffer, source=0, tag=0)
+            while not comm.test(request):
+                pass
+            return buffer[0] == 5.0
+
+        assert all(world.run_spmd(body))
+
+
+class TestCollectives:
+    def test_allreduce_sum(self):
+        world = SimulatedMPI(4, timeout=5.0)
+        results = world.run_spmd(lambda comm: comm.allreduce(np.array([float(comm.rank)])))
+        for result in results:
+            assert np.allclose(result, 6.0)
+
+    def test_reduce_min_to_root(self):
+        world = SimulatedMPI(3, timeout=5.0)
+        results = world.run_spmd(
+            lambda comm: comm.reduce(np.array([float(10 - comm.rank)]), "min", root=0)
+        )
+        assert np.allclose(results[0], 8.0)
+        assert results[1] is None and results[2] is None
+
+    def test_bcast(self):
+        world = SimulatedMPI(3, timeout=5.0)
+
+        def body(comm):
+            data = np.array([42.0]) if comm.rank == 0 else np.zeros(1)
+            return comm.bcast(data, root=0)
+
+        for result in world.run_spmd(body):
+            assert np.allclose(result, 42.0)
+
+    def test_gather(self):
+        world = SimulatedMPI(3, timeout=5.0)
+        results = world.run_spmd(lambda comm: comm.gather(np.array([float(comm.rank)]), root=0))
+        assert np.allclose(results[0].reshape(-1), [0.0, 1.0, 2.0])
+
+    def test_barrier_counts(self):
+        world = SimulatedMPI(3, timeout=5.0)
+        world.run_spmd(lambda comm: comm.barrier())
+        assert world.statistics.barriers == 3
+
+    def test_unknown_reduction_rejected(self):
+        world = SimulatedMPI(1, timeout=5.0)
+        with pytest.raises(MPIRuntimeError):
+            world.run_spmd(lambda comm: comm.reduce(np.ones(1), "median"))
+
+
+class TestWorldManagement:
+    def test_invalid_world_and_ranks(self):
+        with pytest.raises(MPIRuntimeError):
+            SimulatedMPI(0)
+        world = SimulatedMPI(2)
+        with pytest.raises(MPIRuntimeError):
+            world.communicator(5)
+
+    def test_errors_propagate_from_ranks(self):
+        world = SimulatedMPI(2, timeout=2.0)
+
+        def body(comm):
+            if comm.rank == 1:
+                raise ValueError("boom")
+            return comm.rank
+
+        with pytest.raises(ValueError, match="boom"):
+            world.run_spmd(body)
+
+    def test_send_to_invalid_rank(self):
+        world = SimulatedMPI(2, timeout=2.0)
+        with pytest.raises(MPIRuntimeError):
+            world.communicator(0).send(np.zeros(1), dest=7)

@@ -1,0 +1,107 @@
+"""Round-trip tests of the shared textual format (printer + parser)."""
+
+import pytest
+
+from repro.dialects import arith, builtin, dmp, func, memref, mpi, scf, stencil
+from repro.ir import (
+    Builder,
+    FunctionType,
+    ParseError,
+    default_context,
+    f64,
+    i32,
+    index,
+    parse_module,
+    print_module,
+)
+from tests.conftest import build_jacobi_module
+
+
+def round_trip(module, ctx):
+    text = print_module(module)
+    reparsed = parse_module(ctx, text)
+    assert print_module(reparsed) == text
+    return reparsed
+
+
+class TestRoundTrips:
+    def test_empty_module(self, ctx):
+        round_trip(builtin.ModuleOp([]), ctx)
+
+    def test_arith_constants_and_ops(self, ctx):
+        kernel = func.FuncOp("f", FunctionType([], []))
+        b = Builder.at_end(kernel.body.block)
+        one = b.insert(arith.ConstantOp.from_int(1, i32)).result
+        two = b.insert(arith.ConstantOp.from_float(2.5, f64)).result
+        b.insert(arith.AddiOp(one, one))
+        b.insert(arith.MulfOp(two, two))
+        b.insert(arith.CmpiOp("slt", one, one))
+        b.insert(func.ReturnOp([]))
+        round_trip(builtin.ModuleOp([kernel]), ctx)
+
+    def test_scf_structures(self, ctx):
+        kernel = func.FuncOp("f", FunctionType([index], []))
+        b = Builder.at_end(kernel.body.block)
+        zero = b.insert(arith.ConstantOp.from_int(0)).result
+        one = b.insert(arith.ConstantOp.from_int(1)).result
+        loop = scf.ForOp(zero, kernel.args[0], one)
+        Builder.at_end(loop.body.block).insert(scf.YieldOp([]))
+        b.insert(loop)
+        b.insert(func.ReturnOp([]))
+        round_trip(builtin.ModuleOp([kernel]), ctx)
+
+    def test_stencil_program_round_trip(self, ctx):
+        module = build_jacobi_module()
+        reparsed = round_trip(module, ctx)
+        applies = [op for op in reparsed.walk() if isinstance(op, stencil.ApplyOp)]
+        assert len(applies) == 1
+        assert applies[0].halo_extents() == ((1,), (1,))
+
+    def test_dmp_and_mpi_round_trip(self, ctx):
+        kernel = func.FuncOp("f", FunctionType([], []))
+        b = Builder.at_end(kernel.body.block)
+        buffer = b.insert(memref.AllocOp(__import__("repro").ir.MemRefType([8, 8], f64))).memref
+        b.insert(
+            dmp.SwapOp(
+                buffer,
+                dmp.GridAttr([2, 2]),
+                [dmp.ExchangeAttr([1, 0], [6, 1], [0, 1], [0, -1])],
+            )
+        )
+        rank = b.insert(mpi.CommRankOp()).rank
+        requests = b.insert(mpi.AllocateRequestsOp(2)).requests
+        b.insert(mpi.GetRequestOp(requests, 0))
+        b.insert(func.ReturnOp([]))
+        reparsed = round_trip(builtin.ModuleOp([kernel]), ctx)
+        swap = next(op for op in reparsed.walk() if isinstance(op, dmp.SwapOp))
+        assert swap.grid == dmp.GridAttr([2, 2])
+        assert swap.swaps[0].element_count() == 6
+
+    def test_parsed_module_verifies(self, ctx):
+        module = build_jacobi_module()
+        reparsed = round_trip(module, ctx)
+        reparsed.verify()
+
+
+class TestParserErrors:
+    def test_undefined_value(self, ctx):
+        with pytest.raises(ParseError):
+            parse_module(ctx, '"builtin.module"() ({\n^bb():\n"arith.addi"(%x, %x) : (i32, i32) -> (i32)\n}) : () -> ()')
+
+    def test_malformed_operation(self, ctx):
+        with pytest.raises(ParseError):
+            parse_module(ctx, "not an operation")
+
+    def test_trailing_input(self, ctx):
+        text = print_module(builtin.ModuleOp([])) + ' "extra"() : () -> ()'
+        with pytest.raises(ParseError):
+            parse_module(ctx, text)
+
+    def test_operand_type_arity_mismatch(self, ctx):
+        bad = '"builtin.module"() ({\n^bb():\n"arith.constant"() {"value" = 1 : i32} : (i32) -> (i32)\n}) : () -> ()'
+        with pytest.raises(ParseError):
+            parse_module(ctx, bad)
+
+    def test_unknown_character(self, ctx):
+        with pytest.raises(ParseError):
+            parse_module(ctx, "§")

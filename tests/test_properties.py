@@ -1,0 +1,166 @@
+"""Property-based tests (hypothesis) of core data structures and invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dialects import dmp, stencil
+from repro.interp import SimulatedMPI
+from repro.transforms.distribute import GridSlicingStrategy
+
+bounds_pairs = st.lists(
+    st.tuples(st.integers(-8, 8), st.integers(0, 16)), min_size=1, max_size=3
+).map(lambda pairs: ([lo for lo, _ in pairs], [lo + extent for lo, extent in pairs]))
+
+
+class TestStencilBoundsProperties:
+    @given(bounds_pairs)
+    def test_size_is_product_of_shape(self, pair):
+        lb, ub = pair
+        bounds = stencil.StencilBoundsAttr(lb, ub)
+        assert bounds.size() == int(np.prod(bounds.shape))
+
+    @given(bounds_pairs, st.integers(0, 4), st.integers(0, 4))
+    def test_grown_bounds_contain_original(self, pair, low, high):
+        lb, ub = pair
+        bounds = stencil.StencilBoundsAttr(lb, ub)
+        grown = bounds.grown_by([low] * bounds.rank, [high] * bounds.rank)
+        assert grown.contains(bounds)
+        assert grown.shape == tuple(s + low + high for s in bounds.shape)
+
+    @given(bounds_pairs)
+    def test_text_round_trip(self, pair):
+        lb, ub = pair
+        bounds = stencil.StencilBoundsAttr(lb, ub)
+        assert stencil.StencilBoundsAttr.parse_parameters(
+            bounds.print_parameters(None)
+        ) == bounds
+
+
+grid_shapes = st.lists(st.integers(1, 4), min_size=1, max_size=3)
+
+
+class TestGridProperties:
+    @given(grid_shapes)
+    def test_rank_coordinate_bijection(self, shape):
+        grid = dmp.GridAttr(shape)
+        seen = set()
+        for rank in range(grid.rank_count):
+            coords = grid.coords_of(rank)
+            assert grid.rank_of(coords) == rank
+            seen.add(coords)
+        assert len(seen) == grid.rank_count
+
+    @given(grid_shapes, st.integers(0, 2), st.sampled_from([-1, 1]))
+    def test_neighbor_is_symmetric(self, shape, dim, direction):
+        grid = dmp.GridAttr(shape)
+        dim = dim % grid.ndims
+        offset = [0] * grid.ndims
+        offset[dim] = direction
+        back = [0] * grid.ndims
+        back[dim] = -direction
+        for rank in range(grid.rank_count):
+            neighbor = grid.neighbor_of(rank, offset)
+            if neighbor is not None:
+                assert grid.neighbor_of(neighbor, back) == rank
+
+
+class TestDecompositionProperties:
+    @given(
+        st.integers(1, 4),
+        st.integers(1, 4),
+        st.integers(1, 3),
+    )
+    @settings(max_examples=30)
+    def test_slabs_partition_domain(self, px, py, per_rank):
+        strategy = GridSlicingStrategy([px, py])
+        shape = (px * per_rank * 2, py * per_rank * 2)
+        covered = np.zeros(shape, dtype=int)
+        for rank in range(strategy.rank_count):
+            start, end = strategy.global_slab(shape, rank)
+            covered[start[0]:end[0], start[1]:end[1]] += 1
+        assert (covered == 1).all()
+
+    @given(st.integers(1, 4), st.integers(1, 3), st.integers(1, 2))
+    @settings(max_examples=30)
+    def test_exchanges_stay_inside_buffer(self, ranks, per_rank, halo):
+        strategy = GridSlicingStrategy([ranks])
+        domain = strategy.local_domain((ranks * per_rank * 2,), (halo,), (halo,))
+        buffer_shape = domain.buffer_shape
+        for exchange in strategy.exchanges(domain):
+            for offsets, sizes in (exchange.recv_region, exchange.send_region):
+                for offset, size, extent in zip(offsets, sizes, buffer_shape):
+                    assert 0 <= offset and offset + size <= extent
+
+
+class TestCanonicalisationProperties:
+    @given(st.lists(st.integers(-50, 50), min_size=2, max_size=6))
+    @settings(max_examples=30)
+    def test_constant_folding_preserves_value(self, values):
+        from repro.dialects import arith, builtin, func
+        from repro.interp import Interpreter
+        from repro.ir import Builder, FunctionType, i64
+        from repro.transforms.common import canonicalize
+
+        kernel = func.FuncOp("kernel", FunctionType([], [i64]))
+        builder = Builder.at_end(kernel.body.block)
+        accumulator = builder.insert(arith.ConstantOp.from_int(values[0], i64)).result
+        for i, value in enumerate(values[1:]):
+            operand = builder.insert(arith.ConstantOp.from_int(value, i64)).result
+            op_cls = [arith.AddiOp, arith.SubiOp, arith.MuliOp][i % 3]
+            accumulator = builder.insert(op_cls(accumulator, operand)).result
+        builder.insert(func.ReturnOp([accumulator]))
+        module = builtin.ModuleOp([kernel])
+        before = Interpreter(module).call("kernel")[0]
+        canonicalize(module)
+        module.verify()
+        after = Interpreter(module).call("kernel")[0]
+        assert before == after
+
+
+class TestHaloExchangeProperty:
+    @given(st.integers(2, 4), st.integers(1, 2), st.integers(2, 4))
+    @settings(max_examples=15, deadline=None)
+    def test_halo_exchange_transfers_correct_strips(self, ranks, halo, per_rank):
+        """After one dmp-style exchange every rank's halo equals its neighbour's core edge."""
+        n_local = per_rank * 2 * halo
+        strategy = GridSlicingStrategy([ranks])
+        domain = strategy.local_domain((ranks * n_local,), (halo,), (halo,))
+        exchanges = strategy.exchanges(domain)
+        world = SimulatedMPI(ranks, timeout=10.0)
+        grid = strategy.rank_grid()
+        locals_ = [
+            np.full(domain.buffer_shape, float(rank), dtype=np.float64)
+            for rank in range(ranks)
+        ]
+
+        def tag(exchange, sending):
+            direction = exchange.neighbor[0] if sending else -exchange.neighbor[0]
+            return 1 if direction > 0 else 0
+
+        def body(comm):
+            data = locals_[comm.rank]
+            for exchange in exchanges:
+                neighbor = grid.neighbor_of(comm.rank, exchange.neighbor)
+                if neighbor is None:
+                    continue
+                send_off, send_size = exchange.send_region
+                comm.isend(
+                    data[send_off[0]:send_off[0] + send_size[0]].copy(), neighbor,
+                    tag(exchange, True),
+                )
+            for exchange in exchanges:
+                neighbor = grid.neighbor_of(comm.rank, exchange.neighbor)
+                if neighbor is None:
+                    continue
+                recv_off, recv_size = exchange.recv_region
+                buffer = np.empty(recv_size[0])
+                comm.recv(buffer, neighbor, tag(exchange, False))
+                data[recv_off[0]:recv_off[0] + recv_size[0]] = buffer
+
+        world.run_spmd(body)
+        for rank in range(ranks):
+            if rank > 0:
+                assert (locals_[rank][:halo] == float(rank - 1)).all()
+            if rank < ranks - 1:
+                assert (locals_[rank][-halo:] == float(rank + 1)).all()
