@@ -1,0 +1,77 @@
+"""Vectorized backend vs tree-walking interpreter on the Fig. 7 CPU kernels.
+
+The whole point of the shared stack is that the *same* lowered program runs
+fast; this benchmark pins the execution-backend speedup contract: on the heat
+kernels of fig. 7a (2D, space orders 2/4/8) the vectorized NumPy backend must
+be at least 10x faster than the per-cell tree walker while producing
+bit-identical fields.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from bench_helpers import attach_rows
+from repro.core import run_local
+from repro.workloads import heat_diffusion
+
+GRID = (64, 64)
+TIMESTEPS = 3
+MIN_SPEEDUP = 10.0
+
+
+def _compiled_heat(space_order):
+    workload = heat_diffusion(GRID, space_order=space_order, dtype=np.float64)
+    workload.initialise(seed=space_order)
+    operator = workload.operator(backend="xdsl")
+    program = operator.compile(workload.dt)
+    return program, operator._field_arguments()
+
+
+def _time_backend(program, fields, backend, repeats=1):
+    best = float("inf")
+    outputs = None
+    for _ in range(repeats):
+        arrays = [field.copy() for field in fields]
+        start = time.perf_counter()
+        run_local(program, [*arrays, TIMESTEPS], function="kernel", backend=backend)
+        best = min(best, time.perf_counter() - start)
+        outputs = arrays
+    return best, outputs
+
+
+@pytest.mark.benchmark(group="backend-speedup")
+@pytest.mark.parametrize("space_order", [2, 4, 8])
+def test_vectorized_backend_speedup(benchmark, space_order):
+    program, fields = _compiled_heat(space_order)
+    # Warm the nest-compilation cache so both timings measure pure execution.
+    program.compiled_kernel("kernel")
+
+    interp_time, interp_fields = _time_backend(program, fields, "interpreter")
+    vector_time, vector_fields = benchmark(
+        lambda: _time_backend(program, fields, "vectorized", repeats=3)
+    )
+
+    for a, b in zip(interp_fields, vector_fields):
+        assert np.array_equal(a, b), "backends diverged"
+
+    speedup = interp_time / vector_time
+    attach_rows(
+        benchmark,
+        "backend-speedup",
+        [
+            {
+                "kernel": f"heat2d-so{space_order}",
+                "grid": list(GRID),
+                "timesteps": TIMESTEPS,
+                "interpreter_s": interp_time,
+                "vectorized_s": vector_time,
+                "speedup": speedup,
+            }
+        ],
+    )
+    assert speedup >= MIN_SPEEDUP, (
+        f"vectorized backend is only {speedup:.1f}x faster than the "
+        f"interpreter on heat2d-so{space_order} (need >= {MIN_SPEEDUP}x)"
+    )

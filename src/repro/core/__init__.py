@@ -9,6 +9,7 @@ This is the paper's primary contribution packaged behind a small API::
 """
 
 from .executor import (
+    EXECUTION_BACKENDS,
     ExecutionError,
     ExecutionResult,
     gather_field,
@@ -32,5 +33,5 @@ __all__ = [
     "cpu_target", "smp_target", "dmp_target", "gpu_target", "fpga_target",
     "CompiledProgram", "compile_stencil_program", "CompilationError",
     "run_local", "run_distributed", "scatter_field", "gather_field",
-    "ExecutionResult", "ExecutionError",
+    "ExecutionResult", "ExecutionError", "EXECUTION_BACKENDS",
 ]

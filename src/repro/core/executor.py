@@ -15,12 +15,45 @@ from typing import Any, Optional, Sequence
 import numpy as np
 
 from ..interp import ExecStatistics, Interpreter, SimulatedMPI
+from ..interp.vectorize import CompiledKernel
 from ..transforms.distribute import DecompositionStrategy, GridSlicingStrategy
 from .pipeline import CompiledProgram
 
 
 class ExecutionError(Exception):
     """Raised when a compiled program cannot be executed."""
+
+
+#: Valid values of the ``backend`` parameter of :func:`run_local` /
+#: :func:`run_distributed`:
+#:
+#: * ``"auto"`` (default) — vectorize every loop nest that can be proven
+#:   vectorizable, tree-walk the rest (always safe, usually fastest);
+#: * ``"vectorized"`` — like auto, but raise when *nothing* in the function
+#:   could be vectorized (benchmarks use this to avoid silently measuring the
+#:   tree walker);
+#: * ``"interpreter"`` — force the per-cell tree walker everywhere (the
+#:   reference semantics).
+EXECUTION_BACKENDS = ("auto", "interpreter", "vectorized")
+
+
+def _kernel_for_backend(
+    program: CompiledProgram, function_name: str, backend: str
+) -> Optional[CompiledKernel]:
+    if backend not in EXECUTION_BACKENDS:
+        raise ExecutionError(
+            f"unknown execution backend {backend!r}; expected one of "
+            f"{', '.join(EXECUTION_BACKENDS)}"
+        )
+    if backend == "interpreter":
+        return None
+    kernel = program.compiled_kernel(function_name)
+    if backend == "vectorized" and kernel.nest_count == 0:
+        raise ExecutionError(
+            f"backend='vectorized' requested but no loop nest of "
+            f"{function_name!r} could be vectorized"
+        )
+    return kernel
 
 
 @dataclass
@@ -100,10 +133,17 @@ def run_local(
     arguments: Sequence[Any],
     *,
     function: Optional[str] = None,
+    backend: str = "auto",
 ) -> ExecutionResult:
-    """Run a non-distributed compiled program in-process."""
+    """Run a non-distributed compiled program in-process.
+
+    ``backend`` selects the execution engine (see :data:`EXECUTION_BACKENDS`);
+    compiled vectorized kernels are cached on ``program`` keyed by function
+    name, so repeated calls skip recompilation.
+    """
     function_name = function or _default_function(program)
-    interpreter = Interpreter(program.module)
+    kernel = _kernel_for_backend(program, function_name, backend)
+    interpreter = Interpreter(program.module, kernel=kernel)
     interpreter.call(function_name, *arguments)
     return ExecutionResult(statistics=[interpreter.stats])
 
@@ -116,16 +156,20 @@ def run_distributed(
     function: Optional[str] = None,
     margin: Optional[Sequence[int]] = None,
     timeout: float = 60.0,
+    backend: str = "auto",
 ) -> ExecutionResult:
     """Run a distributed compiled program on the simulated MPI world.
 
     ``global_fields`` are updated in place with the gathered results.  All
     field arguments must come before the scalar arguments in the kernel's
     signature (the convention every frontend in this project follows).
+    ``backend`` selects the execution engine (see :data:`EXECUTION_BACKENDS`);
+    the vectorized kernel is compiled once and shared by all ranks.
     """
     if program.distribution is None or program.target.rank_grid is None:
         raise ExecutionError("program was not compiled for a distributed target")
     function_name = function or _default_function(program)
+    kernel = _kernel_for_backend(program, function_name, backend)
     strategy = GridSlicingStrategy(program.target.rank_grid)
     domain = program.distribution.local_domain
     halo_lower, halo_upper = domain.halo_lower, domain.halo_upper
@@ -142,17 +186,25 @@ def run_distributed(
             ]
         )
 
-    statistics: list[ExecStatistics] = [None] * strategy.rank_count  # type: ignore
+    statistics: list[Optional[ExecStatistics]] = [None] * strategy.rank_count
 
     def body(comm):
-        interpreter = Interpreter(program.module, comm=comm)
+        interpreter = Interpreter(program.module, comm=comm, kernel=kernel)
         interpreter.call(
             function_name, *local_fields[comm.rank], *scalar_arguments
         )
         statistics[comm.rank] = interpreter.stats
         return None
 
+    # run_spmd fails fast with the originating rank's exception, so a crashed
+    # rank can never leave us gathering half-written fields below.
     world.run_spmd(body, timeout=timeout)
+    missing = [rank for rank, stats in enumerate(statistics) if stats is None]
+    if missing:
+        raise ExecutionError(
+            f"ranks {missing} finished without reporting statistics; "
+            "the SPMD execution did not complete"
+        )
 
     for rank in range(strategy.rank_count):
         for global_array, local_array in zip(global_fields, local_fields[rank]):
@@ -168,9 +220,15 @@ def run_distributed(
 
 
 def _default_function(program: CompiledProgram) -> str:
-    names = program.function_names
+    names = sorted(program.function_names)
     if not names:
         raise ExecutionError("compiled module contains no function definitions")
     if "kernel" in names:
         return "kernel"
-    return names[0]
+    if len(names) == 1:
+        return names[0]
+    raise ExecutionError(
+        "compiled module defines several functions "
+        f"({', '.join(repr(n) for n in names)}) and none is named 'kernel'; "
+        "pass function=... to select one"
+    )

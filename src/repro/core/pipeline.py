@@ -14,7 +14,10 @@ the decomposition summary needed to scatter/gather data.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..interp.vectorize import CompiledKernel
 
 from ..dialects.builtin import ModuleOp
 from ..ir.context import MLContext, default_context
@@ -63,6 +66,26 @@ class CompiledProgram:
     parallel_regions: int = 0
     #: GPU kernels in the lowered module (gpu target).
     gpu_kernels: int = 0
+    #: Cache of vectorized kernels keyed by function name, so repeated
+    #: ``run_local`` / ``run_distributed`` calls skip nest recompilation.
+    _kernel_cache: dict[str, "CompiledKernel"] = field(
+        default_factory=dict, repr=False, compare=False
+    )
+
+    def compiled_kernel(self, function_name: str) -> "CompiledKernel":
+        """The vectorized kernel for one function (compiled once, then cached).
+
+        The cache assumes ``module`` is no longer mutated after compilation —
+        which holds for every pipeline in this project, since
+        :func:`compile_stencil_program` finishes all rewrites before returning.
+        """
+        kernel = self._kernel_cache.get(function_name)
+        if kernel is None:
+            from ..interp.vectorize import compile_kernel
+
+            kernel = compile_kernel(self.module, function_name)
+            self._kernel_cache[function_name] = kernel
+        return kernel
 
     @property
     def function_names(self) -> list[str]:

@@ -1,4 +1,51 @@
-"""Execution substrate: the IR interpreter and the simulated MPI runtime."""
+"""Execution substrate: interpreter, vectorized backend, simulated MPI runtime.
+
+Execution-backend architecture
+------------------------------
+
+Lowered programs can be executed by two cooperating engines:
+
+* **tree walker** (:mod:`repro.interp.interpreter`) — the reference
+  semantics.  Every operation of the lowered module is dispatched once per
+  evaluation, so loop nests cost one python dispatch *per grid cell per op*.
+  It executes everything: MPI calls, data-dependent control flow, pointer
+  tricks, unknown dialects with registered handlers.
+* **vectorized NumPy backend** (:mod:`repro.interp.vectorize`) — the fast
+  path.  ``scf.parallel`` / ``omp.wsloop`` / plain ``scf.for`` nests whose
+  bodies are pure ``memref.load`` / ``arith`` / ``memref.store`` programs with
+  affine (``iv + c``) indices are compiled *once* into whole-array NumPy slice
+  expressions and replayed for every invocation, the moral equivalent of the
+  generated C the real stack JITs.
+
+Selection rules
+---------------
+
+The two engines are combined *per loop nest*, never per program:
+
+1. ``repro.core.run_local`` / ``run_distributed`` accept
+   ``backend="auto" | "interpreter" | "vectorized"``; ``auto`` (default) asks
+   :func:`repro.interp.vectorize.compile_kernel` for a
+   :class:`~repro.interp.vectorize.CompiledKernel` (cached on the
+   :class:`~repro.core.CompiledProgram` keyed by function name).
+2. When the tree walker reaches a loop nest it first consults that kernel.
+   Nests the compiler could not *prove* vectorizable (MPI, ``scf.while``,
+   ``scf.if``, tiled nests with clamped bounds, non-affine indices) were
+   never compiled and are tree-walked.
+3. A compiled nest can still decline at run time — aliased in/out buffers
+   with shifted offsets, indices that python would negatively wrap, or
+   non-positive steps make it return ``False`` *before touching any buffer*,
+   and the tree walker re-runs that nest invocation.
+
+Both engines produce bit-identical field contents (loads widen to float64
+exactly like ``ndarray.item()``, expressions apply the same operation tree)
+and identical ``cells_updated`` / ``halo_swaps`` statistics, so cost models
+and tests are backend-agnostic; only ``ops_executed`` shrinks on the
+vectorized path because per-cell dispatch no longer happens.
+
+Distributed programs execute against a :class:`SimulatedMPI` world — each
+rank runs one interpreter instance (sharing one compiled kernel) in its own
+thread.
+"""
 
 from .interpreter import (
     ExecStatistics,
@@ -16,10 +63,19 @@ from .mpi_runtime import (
     SimulatedMPI,
 )
 from .values import DataTypeValue, MemRefValue, PointerValue, RequestHandle, numpy_dtype_for
+from .vectorize import (
+    CompiledKernel,
+    CompiledNest,
+    VectorizationError,
+    compile_kernel,
+    compile_loop_nest,
+)
 
 __all__ = [
     "Interpreter", "InterpreterError", "ExecStatistics", "run_function",
     "RequestArray", "RequestRef",
+    "CompiledKernel", "CompiledNest", "VectorizationError",
+    "compile_kernel", "compile_loop_nest",
     "SimulatedMPI", "RankCommunicator", "SimRequest", "MPIRuntimeError",
     "CommStatistics",
     "MemRefValue", "PointerValue", "RequestHandle", "DataTypeValue",

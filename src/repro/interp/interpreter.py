@@ -19,7 +19,7 @@ world: each rank runs one interpreter instance in its own thread.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Optional, Sequence
+from typing import TYPE_CHECKING, Any, Callable, Optional, Sequence
 
 import numpy as np
 
@@ -35,6 +35,9 @@ from .values import (
     RequestHandle,
     numpy_dtype_for,
 )
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .vectorize import CompiledKernel
 
 
 class InterpreterError(Exception):
@@ -102,9 +105,13 @@ class Interpreter:
         module: builtin.ModuleOp,
         *,
         comm: Optional[RankCommunicator] = None,
+        kernel: Optional["CompiledKernel"] = None,
     ):
         self.module = module
         self.comm = comm
+        #: Vectorized nests (from repro.interp.vectorize) consulted before
+        #: tree-walking a loop; None runs everything through the tree walker.
+        self.kernel = kernel
         self.stats = ExecStatistics()
         self.functions: dict[str, func.FuncOp] = {}
         for op in module.walk():
@@ -171,6 +178,19 @@ class Interpreter:
             raise InterpreterError(f"no interpreter support for operation {name!r}")
         fn(self, op, env)
         return None
+
+    def try_vectorized(self, op: Operation, env: dict) -> bool:
+        """Run ``op`` through its compiled vectorized nest, if one exists.
+
+        Returns True when the nest executed (buffers updated, statistics
+        counted); False requests the per-cell tree walk.
+        """
+        if self.kernel is None:
+            return False
+        nest = self.kernel.nest_for(op)
+        if nest is None:
+            return False
+        return nest.execute(self, env)
 
     # -- memory / pointer plumbing ---------------------------------------------------
     def register_buffer(self, array: np.ndarray) -> int:
@@ -480,6 +500,8 @@ _cast("arith.trunci", lambda v: int(v))
 @handler("scf.for")
 def _run_for(interp: Interpreter, op: Operation, env: dict) -> None:
     assert isinstance(op, scf.ForOp)
+    if interp.try_vectorized(op, env):
+        return
     lower = int(interp.get(env, op.lower_bound))
     upper = int(interp.get(env, op.upper_bound))
     step = int(interp.get(env, op.step))
@@ -487,8 +509,11 @@ def _run_for(interp: Interpreter, op: Operation, env: dict) -> None:
         raise InterpreterError("scf.for requires a positive step")
     carried = [interp.get(env, value) for value in op.iter_args]
     block = op.body.block
+    # The body runs in a scoped copy of the environment so loop-local SSA
+    # bindings (induction variable, iter args, body values) never leak into —
+    # or go stale inside — the caller's environment across nested reuse.
+    local_env = dict(env)
     for iteration in range(lower, upper, step):
-        local_env = env
         local_env[block.args[0]] = iteration
         for arg, value in zip(block.args[1:], carried):
             local_env[arg] = value
@@ -508,13 +533,16 @@ def _run_parallel(interp: Interpreter, op: Operation, env: dict) -> None:
     steps = [int(interp.get(env, v)) for v in op.steps]
     if "gpu_kernel" in op.attributes:
         interp.stats.kernel_launches += 1
+    if interp.try_vectorized(op, env):
+        return
     block = op.body.block
+    local_env = dict(env)  # scoped: body bindings must not leak to the caller
 
     def loop(dim: int, indices: list[int]) -> None:
         if dim == rank:
             for arg, value in zip(block.args, indices):
-                env[arg] = value
-            interp.run_block(block, env)
+                local_env[arg] = value
+            interp.run_block(block, local_env)
             interp.stats.cells_updated += 1
             return
         for position in range(lowers[dim], uppers[dim], steps[dim]):
@@ -539,11 +567,12 @@ def _run_if(interp: Interpreter, op: Operation, env: dict) -> None:
 def _run_while(interp: Interpreter, op: Operation, env: dict) -> None:
     assert isinstance(op, scf.WhileOp)
     carried = [interp.get(env, value) for value in op.operands]
+    local_env = dict(env)  # scoped: region bindings must not leak to the caller
     for _ in range(10_000_000):
         before = op.before_region.block
         for arg, value in zip(before.args, carried):
-            env[arg] = value
-        condition_values = interp.run_block(before, env)
+            local_env[arg] = value
+        condition_values = interp.run_block(before, local_env)
         keep_going = bool(condition_values[0])
         passed = condition_values[1:]
         if not keep_going:
@@ -551,8 +580,8 @@ def _run_while(interp: Interpreter, op: Operation, env: dict) -> None:
             break
         after = op.after_region.block
         for arg, value in zip(after.args, passed):
-            env[arg] = value
-        carried = interp.run_block(after, env)
+            local_env[arg] = value
+        carried = interp.run_block(after, local_env)
     for result, value in zip(op.results, carried):
         interp.set(env, result, value)
 
@@ -1084,17 +1113,20 @@ def _run_omp_parallel(interp: Interpreter, op: Operation, env: dict) -> None:
 @handler("omp.wsloop")
 def _run_omp_wsloop(interp: Interpreter, op: Operation, env: dict) -> None:
     assert isinstance(op, omp.WsLoopOp)
+    if interp.try_vectorized(op, env):
+        return
     rank = op.rank
     lowers = [int(interp.get(env, v)) for v in op.lower_bounds]
     uppers = [int(interp.get(env, v)) for v in op.upper_bounds]
     steps = [int(interp.get(env, v)) for v in op.steps]
     block = op.body.block
+    local_env = dict(env)  # scoped: body bindings must not leak to the caller
 
     def loop(dim: int, indices: list[int]) -> None:
         if dim == rank:
             for arg, value in zip(block.args, indices):
-                env[arg] = value
-            interp.run_block(block, env)
+                local_env[arg] = value
+            interp.run_block(block, local_env)
             interp.stats.cells_updated += 1
             return
         for position in range(lowers[dim], uppers[dim], steps[dim]):

@@ -18,6 +18,7 @@ model can check communication volumes against the analytic expectations.
 from __future__ import annotations
 
 import threading
+import time
 from collections import defaultdict, deque
 from dataclasses import dataclass, field
 from typing import Callable, Optional, Sequence
@@ -151,7 +152,14 @@ class SimulatedMPI:
         *,
         timeout: Optional[float] = None,
     ) -> list[object]:
-        """Run ``body(comm)`` on every rank, each in its own thread."""
+        """Run ``body(comm)`` on every rank, each in its own thread.
+
+        All joins share a single deadline, so a deadlocked world of N ranks
+        waits the intended timeout *once* rather than N times, and the first
+        rank that raises fails the whole run immediately (its exception is
+        re-raised; the other, possibly still blocked, daemon threads are
+        abandoned to their own timeouts).
+        """
         results: list[object] = [None] * self.size
         errors: list[Optional[BaseException]] = [None] * self.size
 
@@ -170,16 +178,24 @@ class SimulatedMPI:
         for thread in threads:
             thread.start()
         join_timeout = timeout if timeout is not None else self.timeout * 4
-        for thread in threads:
-            thread.join(timeout=join_timeout)
+        deadline = time.monotonic() + join_timeout
+        pending = list(threads)
+        while pending:
+            if any(error is not None for error in errors):
+                break  # fail fast: a rank already crashed
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                break
+            pending[0].join(timeout=min(0.05, remaining))
+            pending = [thread for thread in pending if thread.is_alive()]
+        for error in errors:
+            if error is not None:
+                raise error
         for rank, thread in enumerate(threads):
             if thread.is_alive():
                 raise MPIRuntimeError(
                     f"rank {rank} did not finish within {join_timeout}s (deadlock?)"
                 )
-        for error in errors:
-            if error is not None:
-                raise error
         return results
 
 

@@ -1,0 +1,700 @@
+"""Vectorized NumPy execution backend for lowered loop nests.
+
+The tree-walking interpreter dispatches every lowered operation once *per grid
+cell*, which makes the cost of a stencil sweep proportional to ``cells x ops``
+python bytecode dispatches.  This module removes the per-cell dispatch: it
+pattern-matches the loop nests produced by ``convert-stencil-to-scf`` (and the
+OpenMP conversion) and compiles each nest *once* into whole-array NumPy slice
+expressions — the moral equivalent of the C code Devito generates.
+
+The compiler is deliberately conservative.  A nest is vectorizable when
+
+* it is an ``scf.parallel`` / ``omp.wsloop`` nest, or an ``scf.for`` (without
+  loop-carried values), possibly perfectly nested;
+* every index expression is affine in the induction variables with unit
+  coefficients (``iv + c`` per memref axis, or a nest-invariant constant);
+* the body consists only of ``memref.load`` / ``memref.store`` and pure
+  element-wise ``arith`` ops (no calls, no MPI, no nested control flow).
+
+Anything else — data-dependent control flow, ``scf.while``, MPI operations,
+tiled nests with ``min``-clamped inner bounds — is left to the tree walker,
+*per nest*, so one non-vectorizable region never forfeits the speedup of its
+neighbours.
+
+Equivalence with the tree walker is bit-exact: scalar loads are widened to
+float64 exactly as ``ndarray.item()`` does, the element-wise expressions apply
+the same operation tree in the same order, and stores down-cast on assignment.
+Nests whose execution the slicing model cannot reproduce exactly (aliased
+read/write buffers with shifted offsets, out-of-range indices that python's
+negative indexing would wrap, non-positive steps) are detected at *run* time
+and bounce back to the interpreter for that invocation.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Callable, Optional, Union
+
+import numpy as np
+
+from ..dialects import arith, func, memref, omp, scf
+from ..ir.attributes import FloatAttr, IntegerAttr
+from ..ir.core import BlockArgument, Operation, SSAValue
+from ..ir.types import IndexType, IntegerType
+
+
+class VectorizationError(Exception):
+    """Internal: raised while analysing a nest that cannot be vectorized."""
+
+
+# ---------------------------------------------------------------------------
+# affine index expressions
+# ---------------------------------------------------------------------------
+
+class _Affine:
+    """``sum(coeffs[d] * iv_d) + sum(free[v] * env[v]) + const``.
+
+    ``free`` terms are SSA values defined outside the nest; they are resolved
+    against the interpreter environment when the nest executes.
+    """
+
+    __slots__ = ("coeffs", "const", "free")
+
+    def __init__(
+        self,
+        coeffs: Optional[dict[int, int]] = None,
+        const: int = 0,
+        free: Optional[dict[SSAValue, int]] = None,
+    ):
+        self.coeffs: dict[int, int] = dict(coeffs or {})
+        self.const = int(const)
+        self.free: dict[SSAValue, int] = dict(free or {})
+
+    @property
+    def is_invariant(self) -> bool:
+        """True when the expression does not involve any induction variable."""
+        return not self.coeffs
+
+    @property
+    def is_literal(self) -> bool:
+        return not self.coeffs and not self.free
+
+    def combine(self, other: "_Affine", sign: int) -> "_Affine":
+        result = _Affine(self.coeffs, self.const + sign * other.const, self.free)
+        for dim, coeff in other.coeffs.items():
+            updated = result.coeffs.get(dim, 0) + sign * coeff
+            if updated:
+                result.coeffs[dim] = updated
+            else:
+                result.coeffs.pop(dim, None)
+        for value, coeff in other.free.items():
+            updated = result.free.get(value, 0) + sign * coeff
+            if updated:
+                result.free[value] = updated
+            else:
+                result.free.pop(value, None)
+        return result
+
+    def scale(self, factor: int) -> "_Affine":
+        if factor == 0:
+            return _Affine()
+        return _Affine(
+            {d: c * factor for d, c in self.coeffs.items()},
+            self.const * factor,
+            {v: c * factor for v, c in self.free.items()},
+        )
+
+    def invariant_value(self, env: dict) -> int:
+        """Evaluate a nest-invariant expression against the environment."""
+        total = self.const
+        for value, coeff in self.free.items():
+            total += coeff * int(env[value])
+        return total
+
+
+# ---------------------------------------------------------------------------
+# element-wise operation tables (must mirror the scalar interpreter exactly)
+# ---------------------------------------------------------------------------
+
+_BINARY_FNS: dict[str, Callable[[Any, Any], Any]] = {
+    "arith.addf": lambda a, b: a + b,
+    "arith.subf": lambda a, b: a - b,
+    "arith.mulf": lambda a, b: a * b,
+    "arith.divf": lambda a, b: a / b,
+    "arith.powf": lambda a, b: a ** b,
+    "arith.maximumf": np.maximum,
+    "arith.minimumf": np.minimum,
+    "arith.addi": lambda a, b: a + b,
+    "arith.subi": lambda a, b: a - b,
+    "arith.muli": lambda a, b: a * b,
+    "arith.minsi": np.minimum,
+    "arith.maxsi": np.maximum,
+}
+
+_UNARY_FNS: dict[str, Callable[[Any], Any]] = {
+    "arith.negf": lambda a: -a,
+    "arith.sitofp": lambda a: np.asarray(a, dtype=np.float64)
+    if isinstance(a, np.ndarray) else float(a),
+    "arith.extf": lambda a: np.asarray(a, dtype=np.float64)
+    if isinstance(a, np.ndarray) else float(a),
+    "arith.truncf": lambda a: np.asarray(
+        np.asarray(a, dtype=np.float32), dtype=np.float64
+    ) if isinstance(a, np.ndarray) else float(np.float32(a)),
+    "arith.fptosi": lambda a: np.asarray(a).astype(np.int64)
+    if isinstance(a, np.ndarray) else int(a),
+    "arith.extsi": lambda a: a,
+    "arith.trunci": lambda a: a,
+}
+
+_CMPF_FNS = {
+    "oeq": np.equal, "ogt": np.greater, "oge": np.greater_equal,
+    "olt": np.less, "ole": np.less_equal, "one": np.not_equal,
+}
+
+_CMPI_FNS = {
+    "eq": np.equal, "ne": np.not_equal, "slt": np.less, "sle": np.less_equal,
+    "sgt": np.greater, "sge": np.greater_equal,
+}
+
+
+# Compile-time operand references, resolved per execution:
+#   ("arr", value)   — tensor computed by an earlier instruction of the nest
+#   ("const", x)     — compile-time literal
+#   ("aff", affine)  — affine index expression (materialised as an int grid)
+#   ("free", value)  — scalar defined outside the nest, read from the env
+_Ref = tuple
+
+
+class CompiledNest:
+    """One vectorizable loop nest, compiled to NumPy slice expressions."""
+
+    __slots__ = ("bounds", "instrs", "count_dims", "rank")
+
+    def __init__(
+        self,
+        bounds: list[tuple[_Affine, _Affine, _Affine]],
+        instrs: list[tuple],
+        count_dims: int,
+    ):
+        self.bounds = bounds
+        self.instrs = instrs
+        #: Number of *leading* dims that belong to the scf.parallel/omp.wsloop
+        #: root: the tree walker counts one cells_updated per point of those
+        #: dims only (perfectly nested inner scf.for dims do not count, and a
+        #: plain scf.for root counts nothing).
+        self.count_dims = count_dims
+        self.rank = len(bounds)
+
+    # -- runtime ------------------------------------------------------------
+    def execute(self, interp, env: dict) -> bool:
+        """Run the nest against ``env``; return False to request a fallback.
+
+        A ``False`` return leaves every buffer untouched, so the caller can
+        safely re-run the nest through the tree walker.
+        """
+        try:
+            # Any surprise during preparation (unresolvable free value,
+            # unexpected runtime type) means the static analysis was too
+            # optimistic; no buffer has been touched yet, so falling back to
+            # the tree walker is always safe.
+            plan = self._prepare(interp, env)
+        except Exception:
+            return False
+        if plan is None:
+            return False
+        pending, cells = plan
+        # The commit cannot raise: every prepared array was validated to have
+        # exactly the target region's shape and dtype.
+        for array, slices, prepared in pending:
+            array[slices] = prepared
+        interp.stats.cells_updated += cells
+        return True
+
+    def _prepare(self, interp, env: dict):
+        dims: list[tuple[int, int, int]] = []
+        for lower, upper, step in self.bounds:
+            dims.append(
+                (
+                    lower.invariant_value(env),
+                    upper.invariant_value(env),
+                    step.invariant_value(env),
+                )
+            )
+        if any(step <= 0 for _, _, step in dims):
+            return None  # the interpreter defines the (error) semantics here
+        trips = tuple(len(range(lower, upper, step)) for lower, upper, step in dims)
+        if math.prod(trips) == 0:
+            return [], 0
+        nest_shape = trips
+        cells = math.prod(trips[: self.count_dims]) if self.count_dims else 0
+
+        # Resolve every load/store region up front so aliasing and bounds can
+        # be validated before anything is evaluated or written.
+        loads: list[tuple[int, int, tuple]] = []  # (instr index, array id, slices)
+        stores: list[tuple[int, int, tuple]] = []
+        regions: dict[int, tuple] = {}  # instr index -> resolved region
+        for position, instr in enumerate(self.instrs):
+            kind = instr[0]
+            if kind not in ("load", "store"):
+                continue
+            array = interp.as_array(env[instr[2]])
+            axes = instr[3]
+            resolved = self._resolve_region(array, axes, dims, env, kind == "store")
+            if resolved is None:
+                return None
+            slices, view_shape, region_shape = resolved
+            regions[position] = (array, slices, view_shape, region_shape)
+            record = (position, id(array), slices)
+            (loads if kind == "load" else stores).append(record)
+
+        if not self._aliasing_is_safe(loads, stores, regions):
+            return None
+
+        # Evaluate the element-wise program.
+        values: dict[SSAValue, Any] = {}
+
+        def resolve(ref: _Ref) -> Any:
+            tag = ref[0]
+            if tag == "arr":
+                return values[ref[1]]
+            if tag == "const":
+                return ref[1]
+            if tag == "free":
+                return env[ref[1]]
+            return self._materialize(ref[1], dims, env)
+
+        # With several stores in one nest, an earlier commit may mutate memory
+        # that a later store's value still *views* (loads and broadcasts avoid
+        # copies); materialise every value in that case so the committed data
+        # is what was computed, not what the buffer holds mid-commit.
+        force_copy = len(stores) > 1
+        pending: list[tuple[np.ndarray, tuple, np.ndarray]] = []
+        for position, instr in enumerate(self.instrs):
+            kind = instr[0]
+            if kind == "load":
+                array, slices, view_shape, _ = regions[position]
+                view = array[slices].reshape(view_shape)
+                values[instr[1]] = _widen(view)
+            elif kind == "store":
+                array, slices, _, region_shape = regions[position]
+                value = resolve(instr[1])
+                prepared = np.broadcast_to(
+                    np.asarray(value), nest_shape
+                ).reshape(region_shape).astype(array.dtype, copy=force_copy)
+                if prepared.shape != array[slices].shape:
+                    return None
+                pending.append((array, slices, prepared))
+            elif kind == "binary":
+                values[instr[1]] = instr[2](resolve(instr[3]), resolve(instr[4]))
+            elif kind == "unary":
+                values[instr[1]] = instr[2](resolve(instr[3]))
+            else:  # select
+                values[instr[1]] = np.where(
+                    resolve(instr[2]), resolve(instr[3]), resolve(instr[4])
+                )
+
+        return pending, cells
+
+    def _resolve_region(
+        self,
+        array: np.ndarray,
+        axes: list[_Affine],
+        dims: list[tuple[int, int, int]],
+        env: dict,
+        is_store: bool,
+    ) -> Optional[tuple[tuple, tuple, tuple]]:
+        """Turn per-axis affine indices into slices + broadcastable shapes.
+
+        Returns ``(slices, view_shape, region_shape)``: ``view_shape`` has the
+        nest's rank with the trip count at every mapped dimension and 1
+        elsewhere (for broadcasting loads into the iteration space), while
+        ``region_shape`` has the *memref's* rank and matches ``array[slices]``
+        exactly (for shaping store values).  None when the region cannot be
+        reproduced exactly by slicing.
+        """
+        if len(axes) != array.ndim:
+            return None
+        trips = tuple(len(range(*dim)) for dim in dims)
+        slices = []
+        view_shape = [1] * len(dims)
+        region_shape = [1] * array.ndim
+        used_dims: list[int] = []
+        for axis, affine in enumerate(axes):
+            offset = affine.invariant_value(env)
+            if not affine.coeffs:
+                if not 0 <= offset < array.shape[axis]:
+                    return None
+                slices.append(slice(offset, offset + 1))
+                continue
+            mapping = list(affine.coeffs.items())
+            if len(mapping) != 1 or mapping[0][1] != 1:
+                return None
+            dim = mapping[0][0]
+            if used_dims and dim <= used_dims[-1]:
+                return None  # transposed or duplicated induction variables
+            used_dims.append(dim)
+            lower, upper, step = dims[dim]
+            start = lower + offset
+            last = start + (trips[dim] - 1) * step
+            if trips[dim] and (start < 0 or last >= array.shape[axis]):
+                # Out-of-range accesses would wrap (negative) or raise in the
+                # tree walker; preserve those semantics by falling back.
+                return None
+            slices.append(slice(start, upper + offset, step))
+            view_shape[dim] = trips[dim]
+            region_shape[axis] = trips[dim]
+        if is_store and len(used_dims) != len(dims):
+            return None  # some iterations would collapse onto the same cells
+        return tuple(slices), tuple(view_shape), tuple(region_shape)
+
+    @staticmethod
+    def _aliasing_is_safe(loads, stores, regions) -> bool:
+        """Check that all-loads-then-all-stores matches per-cell execution."""
+        for store_position, store_array_id, store_slices in stores:
+            store_view = None
+            for load_position, load_array_id, load_slices in loads:
+                same_region = (
+                    load_array_id == store_array_id and load_slices == store_slices
+                )
+                if same_region and load_position < store_position:
+                    continue  # reads its own cell before writing it: safe
+                if store_view is None:
+                    array, slices = regions[store_position][:2]
+                    store_view = array[slices]
+                load_array, slices = regions[load_position][:2]
+                if np.shares_memory(load_array[slices], store_view):
+                    return False
+            for other_position, other_array_id, other_slices in stores:
+                if other_position >= store_position:
+                    continue
+                if other_array_id == store_array_id and other_slices == store_slices:
+                    continue  # re-written identically: program order preserved
+                if store_view is None:
+                    array, slices = regions[store_position][:2]
+                    store_view = array[slices]
+                other_array, slices = regions[other_position][:2]
+                if np.shares_memory(other_array[slices], store_view):
+                    return False
+        return True
+
+    @staticmethod
+    def _materialize(
+        affine: _Affine, dims: list[tuple[int, int, int]], env: dict
+    ) -> Any:
+        """Evaluate an affine expression over the whole iteration space."""
+        total: Any = affine.const + sum(
+            coeff * int(env[value]) for value, coeff in affine.free.items()
+        )
+        rank = len(dims)
+        for dim, coeff in affine.coeffs.items():
+            lower, upper, step = dims[dim]
+            shape = [1] * rank
+            shape[dim] = len(range(lower, upper, step))
+            axis = np.arange(lower, upper, step, dtype=np.int64).reshape(shape)
+            total = total + coeff * axis
+        return total
+
+
+def _widen(view: np.ndarray) -> np.ndarray:
+    """Widen loaded elements exactly as ``ndarray.item()`` does per cell."""
+    kind = view.dtype.kind
+    if kind == "f":
+        return view.astype(np.float64, copy=False)
+    if kind == "b":
+        return view
+    return view.astype(np.int64, copy=False)
+
+
+# ---------------------------------------------------------------------------
+# the nest compiler
+# ---------------------------------------------------------------------------
+
+_NEST_TERMINATORS = ("scf.yield", "omp.yield")
+
+
+class _NestCompiler:
+    """Analyses one loop nest and emits a :class:`CompiledNest`."""
+
+    def __init__(self, root: Operation):
+        self.root = root
+        self.bounds: list[tuple[_Affine, _Affine, _Affine]] = []
+        self.ivs: dict[SSAValue, int] = {}
+        # SSA value -> _Affine | ("const", literal) | "array"
+        self.sym: dict[SSAValue, Union[_Affine, tuple, str]] = {}
+        self.instrs: list[tuple] = []
+
+    def compile(self) -> CompiledNest:
+        root = self.root
+        if isinstance(root, (scf.ParallelOp, omp.WsLoopOp)):
+            block = root.body.block
+            for iv, lower, upper, step in zip(
+                block.args, root.lower_bounds, root.upper_bounds, root.steps
+            ):
+                self._push_dim(iv, lower, upper, step)
+            # The tree walker counts cells_updated once per point of the
+            # parallel dims only; inner scf.for dims flattened later by
+            # _compile_block must not inflate the statistic.
+            count_dims = len(self.bounds)
+        elif isinstance(root, scf.ForOp):
+            if root.iter_args or root.results:
+                raise VectorizationError("loop-carried values cannot be vectorized")
+            block = root.body.block
+            self._push_dim(block.args[0], root.lower_bound, root.upper_bound, root.step)
+            count_dims = 0
+        else:
+            raise VectorizationError(f"{root.name} is not a vectorizable nest")
+        self._compile_block(block)
+        return CompiledNest(self.bounds, self.instrs, count_dims)
+
+    def _push_dim(self, iv: SSAValue, lower, upper, step) -> None:
+        self.ivs[iv] = len(self.bounds)
+        self.bounds.append(
+            (
+                self._invariant_operand(lower),
+                self._invariant_operand(upper),
+                self._invariant_operand(step),
+            )
+        )
+
+    def _invariant_operand(self, value: SSAValue) -> _Affine:
+        affine = self._index_operand(value)
+        if affine is None or affine.coeffs:
+            raise VectorizationError("loop bounds must be nest-invariant")
+        return affine
+
+    # -- structure ----------------------------------------------------------
+    def _compile_block(self, block) -> None:
+        ops = list(block.ops)
+        for position, op in enumerate(ops):
+            name = op.name
+            if name in _NEST_TERMINATORS:
+                if op.operands or position != len(ops) - 1:
+                    raise VectorizationError("nests must not yield values")
+                return
+            if isinstance(op, scf.ForOp):
+                # Perfectly nested inner loop: nothing may follow it.
+                if op.iter_args or op.results:
+                    raise VectorizationError("inner loop carries values")
+                remainder = ops[position + 1 :]
+                if len(remainder) != 1 or remainder[0].name not in _NEST_TERMINATORS \
+                        or remainder[0].operands:
+                    raise VectorizationError("inner loop is not perfectly nested")
+                inner = op.body.block
+                self._push_dim(inner.args[0], op.lower_bound, op.upper_bound, op.step)
+                self._compile_block(inner)
+                return
+            self._compile_op(op)
+
+    # -- per-op classification ----------------------------------------------
+    def _compile_op(self, op: Operation) -> None:
+        name = op.name
+        if isinstance(op, arith.ConstantOp):
+            attr = op.value
+            if isinstance(attr, IntegerAttr):
+                result_type = op.results[0].type
+                if isinstance(result_type, IntegerType) and result_type.width == 1:
+                    self.sym[op.results[0]] = ("const", bool(attr.value))
+                else:
+                    self.sym[op.results[0]] = _Affine(const=int(attr.value))
+            elif isinstance(attr, FloatAttr):
+                self.sym[op.results[0]] = ("const", float(attr.value))
+            else:
+                raise VectorizationError("unsupported constant payload")
+            return
+
+        if isinstance(op, memref.LoadOp):
+            self._compile_access(op.memref, op.indices, result=op.results[0])
+            return
+        if isinstance(op, memref.StoreOp):
+            self._compile_access(op.memref, op.indices, stored=op.value)
+            return
+
+        # Integer/index arithmetic stays symbolic whenever possible so it can
+        # feed memref indices.
+        if name in ("arith.addi", "arith.subi", "arith.muli"):
+            lhs = self._index_operand(op.operands[0])
+            rhs = self._index_operand(op.operands[1])
+            if lhs is not None and rhs is not None:
+                if name == "arith.addi":
+                    self.sym[op.results[0]] = lhs.combine(rhs, 1)
+                elif name == "arith.subi":
+                    self.sym[op.results[0]] = lhs.combine(rhs, -1)
+                else:
+                    if lhs.is_literal:
+                        self.sym[op.results[0]] = rhs.scale(lhs.const)
+                    elif rhs.is_literal:
+                        self.sym[op.results[0]] = lhs.scale(rhs.const)
+                    else:
+                        raise VectorizationError("non-affine index product")
+                return
+        if name in ("arith.index_cast", "arith.extsi", "arith.trunci"):
+            affine = self._index_operand(op.operands[0])
+            if affine is not None:
+                self.sym[op.results[0]] = affine
+                return
+
+        if name in _BINARY_FNS:
+            self._emit(
+                "binary", op.results[0], _BINARY_FNS[name],
+                self._value_ref(op.operands[0]), self._value_ref(op.operands[1]),
+            )
+            return
+        if name in _UNARY_FNS:
+            self._emit(
+                "unary", op.results[0], _UNARY_FNS[name],
+                self._value_ref(op.operands[0]),
+            )
+            return
+        if name == "arith.cmpf":
+            assert isinstance(op, arith.CmpfOp)
+            fn = _CMPF_FNS.get(op.predicate)
+            if fn is None:
+                raise VectorizationError(f"cmpf predicate {op.predicate!r}")
+            self._emit(
+                "binary", op.results[0], fn,
+                self._value_ref(op.operands[0]), self._value_ref(op.operands[1]),
+            )
+            return
+        if name == "arith.cmpi":
+            assert isinstance(op, arith.CmpiOp)
+            fn = _CMPI_FNS.get(op.predicate)
+            if fn is None:
+                raise VectorizationError(f"cmpi predicate {op.predicate!r}")
+            self._emit(
+                "binary", op.results[0], fn,
+                self._value_ref(op.operands[0]), self._value_ref(op.operands[1]),
+            )
+            return
+        if name == "arith.select":
+            self.instrs.append(
+                (
+                    "select", op.results[0],
+                    self._value_ref(op.operands[0]),
+                    self._value_ref(op.operands[1]),
+                    self._value_ref(op.operands[2]),
+                )
+            )
+            self.sym[op.results[0]] = "array"
+            return
+        raise VectorizationError(f"operation {name!r} cannot be vectorized")
+
+    def _emit(self, kind: str, result: SSAValue, fn, *refs: _Ref) -> None:
+        self.instrs.append((kind, result, fn, *refs))
+        self.sym[result] = "array"
+
+    def _compile_access(self, base: SSAValue, indices, result=None, stored=None) -> None:
+        if base in self.sym or base in self.ivs:
+            raise VectorizationError("memref allocated inside the nest")
+        axes = []
+        for index_value in indices:
+            affine = self._index_operand(index_value)
+            if affine is None:
+                raise VectorizationError("non-affine memref index")
+            axes.append(affine)
+        if result is not None:
+            self.instrs.append(("load", result, base, axes))
+            self.sym[result] = "array"
+        else:
+            self.instrs.append(("store", self._value_ref(stored), base, axes))
+
+    # -- operand classification ----------------------------------------------
+    def _index_operand(self, value: SSAValue) -> Optional[_Affine]:
+        """An affine view of ``value``, or None when it is not index-like."""
+        if value in self.ivs:
+            return _Affine({self.ivs[value]: 1})
+        symbol = self.sym.get(value)
+        if symbol is not None:
+            if isinstance(symbol, _Affine):
+                return symbol
+            if isinstance(symbol, tuple) and isinstance(symbol[1], int) \
+                    and not isinstance(symbol[1], bool):
+                return _Affine(const=symbol[1])
+            return None
+        value_type = value.type
+        if isinstance(value_type, IndexType) or (
+            isinstance(value_type, IntegerType) and value_type.width > 1
+        ):
+            return _Affine(free={value: 1})
+        return None
+
+    def _value_ref(self, value: SSAValue) -> _Ref:
+        if value in self.ivs:
+            return ("aff", _Affine({self.ivs[value]: 1}))
+        symbol = self.sym.get(value)
+        if symbol is None:
+            return ("free", value)  # defined outside the nest: env lookup
+        if symbol == "array":
+            return ("arr", value)
+        if isinstance(symbol, _Affine):
+            if symbol.is_literal:
+                return ("const", symbol.const)
+            return ("aff", symbol)
+        return ("const", symbol[1])
+
+
+def compile_loop_nest(op: Operation) -> Optional[CompiledNest]:
+    """Compile one loop nest, or return None when it is not vectorizable."""
+    try:
+        return _NestCompiler(op).compile()
+    except VectorizationError:
+        return None
+
+
+# ---------------------------------------------------------------------------
+# whole-function compilation + cache entry point
+# ---------------------------------------------------------------------------
+
+class CompiledKernel:
+    """Vectorized nests of one function, looked up by nest operation."""
+
+    def __init__(self, function_name: str, nests: dict[int, CompiledNest]):
+        self.function_name = function_name
+        self.nests = nests
+
+    def nest_for(self, op: Operation) -> Optional[CompiledNest]:
+        return self.nests.get(id(op))
+
+    @property
+    def nest_count(self) -> int:
+        return len(self.nests)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<CompiledKernel {self.function_name!r}: {len(self.nests)} nests>"
+
+
+_CANDIDATES = (scf.ParallelOp, omp.WsLoopOp, scf.ForOp)
+
+
+def compile_kernel(module: Operation, function_name: str) -> CompiledKernel:
+    """Compile every vectorizable loop nest of one function of ``module``.
+
+    Unknown function names yield an empty kernel (the interpreter will raise
+    its usual error when the call is attempted), so callers need not special
+    case them.
+    """
+    nests: dict[int, CompiledNest] = {}
+    for op in module.walk():
+        if not (isinstance(op, func.FuncOp) and op.sym_name == function_name):
+            continue
+        compiled_region_roots: set[int] = set()
+        for candidate in op.walk():
+            if not isinstance(candidate, _CANDIDATES):
+                continue
+            if any(
+                id(ancestor) in compiled_region_roots
+                for ancestor in _ancestors(candidate)
+            ):
+                continue  # already covered by a vectorized enclosing nest
+            nest = compile_loop_nest(candidate)
+            if nest is not None:
+                nests[id(candidate)] = nest
+                compiled_region_roots.add(id(candidate))
+        break
+    return CompiledKernel(function_name, nests)
+
+
+def _ancestors(op: Operation):
+    current = op.parent_op
+    while current is not None:
+        yield current
+        current = current.parent_op

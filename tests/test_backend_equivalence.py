@@ -1,0 +1,460 @@
+"""Equivalence of the execution backends: interpreter vs vectorized NumPy.
+
+Every compiled program must produce *bit-identical* field contents and
+identical ``cells_updated`` / ``halo_swaps`` statistics regardless of which
+backend executes it; the vectorized backend is purely a performance feature.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    ExecutionError,
+    compile_stencil_program,
+    cpu_target,
+    dmp_target,
+    fpga_target,
+    gather_field,
+    gpu_target,
+    run_distributed,
+    run_local,
+    scatter_field,
+    smp_target,
+)
+from repro.dialects import arith, builtin, func, memref, scf
+from repro.interp import CompiledNest, Interpreter, compile_kernel, compile_loop_nest
+from repro.ir import Builder, FunctionType, MemRefType, f64, index
+from repro.transforms.distribute import GridSlicingStrategy
+from repro.workloads import acoustic_wave, heat_diffusion
+from tests.conftest import build_jacobi_module, jacobi_reference
+
+
+def _jacobi_inputs(n, halo, seed):
+    rng = np.random.default_rng(seed)
+    data = np.zeros(n + 2 * halo)
+    data[halo : halo + n] = rng.standard_normal(n)
+    return data
+
+
+def _run_both(program, make_args, steps, function=None):
+    """Run one program through both backends; return both argument sets."""
+    args_interp = make_args()
+    args_vector = make_args()
+    result_interp = run_local(
+        program, [*args_interp, steps], function=function, backend="interpreter"
+    )
+    result_vector = run_local(
+        program, [*args_vector, steps], function=function, backend="auto"
+    )
+    stats_interp, stats_vector = result_interp.statistics[0], result_vector.statistics[0]
+    assert stats_interp.cells_updated == stats_vector.cells_updated
+    assert stats_interp.kernel_launches == stats_vector.kernel_launches
+    return args_interp, args_vector
+
+
+class TestSingleRankEquivalence:
+    @pytest.mark.parametrize(
+        "target",
+        [
+            cpu_target(),
+            cpu_target(tile_sizes=(3,)),
+            smp_target(threads=4),
+            gpu_target(),
+            fpga_target(),
+        ],
+        ids=["cpu", "cpu-tiled", "smp", "gpu", "fpga"],
+    )
+    def test_jacobi_bit_identical_across_targets(self, target):
+        program = compile_stencil_program(build_jacobi_module(), target)
+        initial = _jacobi_inputs(8, 1, seed=11)
+        interp_args, vector_args = _run_both(
+            program, lambda: [initial.copy(), initial.copy()], steps=3
+        )
+        for a, b in zip(interp_args, vector_args):
+            assert np.array_equal(a, b)
+        latest = interp_args[0] if 3 % 2 == 0 else interp_args[1]
+        assert np.allclose(latest, jacobi_reference(initial, 3))
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_jacobi_property_random_configurations(self, seed):
+        """Property-style sweep: random sizes/halos/coefficients/steps."""
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(2, 16))
+        halo = int(rng.integers(1, 3))
+        steps = int(rng.integers(0, 5))
+        coefficient = float(rng.uniform(0.1, 0.9))
+        program = compile_stencil_program(
+            build_jacobi_module(n, halo, coefficient), cpu_target()
+        )
+        initial = _jacobi_inputs(n, halo, seed=seed + 100)
+        interp_args, vector_args = _run_both(
+            program, lambda: [initial.copy(), initial.copy()], steps=steps
+        )
+        for a, b in zip(interp_args, vector_args):
+            assert np.array_equal(a, b)
+
+    @pytest.mark.parametrize("space_order", [2, 4])
+    def test_devito_heat_bit_identical(self, space_order):
+        workload = heat_diffusion((12, 12), space_order=space_order, dtype=np.float64)
+        workload.initialise(seed=5)
+        operator = workload.operator(backend="xdsl")
+        program = operator.compile(workload.dt)
+        reference = operator._field_arguments()
+        _assert_bitwise_backend_match(program, reference, steps=3)
+
+    def test_devito_wave_inplace_buffer_bit_identical(self):
+        # The wave update stores into the buffer it also reads (t-1) at the
+        # same offset: the pointwise-aliasing fast path must stay exact.
+        workload = acoustic_wave((8, 8, 8), space_order=2, dtype=np.float64)
+        workload.initialise(seed=6)
+        operator = workload.operator(backend="xdsl")
+        program = operator.compile(workload.dt)
+        reference = operator._field_arguments()
+        _assert_bitwise_backend_match(program, reference, steps=2)
+
+
+def _assert_bitwise_backend_match(program, field_arrays, steps):
+    interp_args = [a.copy() for a in field_arrays]
+    vector_args = [a.copy() for a in field_arrays]
+    run_local(program, [*interp_args, steps], function="kernel", backend="interpreter")
+    run_local(program, [*vector_args, steps], function="kernel", backend="vectorized")
+    for a, b in zip(interp_args, vector_args):
+        assert np.array_equal(a, b)
+
+
+class TestDistributedEquivalence:
+    @pytest.mark.parametrize("library_calls", [False, True], ids=["dmp", "mpi"])
+    def test_distributed_jacobi_bit_identical(self, library_calls):
+        initial = _jacobi_inputs(8, 1, seed=21)
+        results = {}
+        for backend in ("interpreter", "vectorized"):
+            program = compile_stencil_program(
+                build_jacobi_module(),
+                dmp_target((2,), lower_to_library_calls=library_calls),
+            )
+            a, b = initial.copy(), initial.copy()
+            result = run_distributed(program, [a, b], [3], backend=backend)
+            results[backend] = (a, b, result)
+        a_i, b_i, r_i = results["interpreter"]
+        a_v, b_v, r_v = results["vectorized"]
+        assert np.array_equal(a_i, a_v)
+        assert np.array_equal(b_i, b_v)
+        assert r_i.total_cells_updated == r_v.total_cells_updated
+        assert r_i.total_halo_swaps == r_v.total_halo_swaps
+        assert r_i.messages_sent == r_v.messages_sent
+
+
+class TestRuntimeFallback:
+    def _inplace_shifted_module(self):
+        """u[i] = u[i] + u[i+1] over one buffer: per-cell order is observable,
+        so the vectorized nest must refuse it at run time."""
+        kernel = func.FuncOp("kernel", FunctionType([MemRefType([10], f64)], []))
+        u = kernel.args[0]
+        b = Builder.at_end(kernel.body.block)
+        zero = b.insert(arith.ConstantOp.from_int(0)).result
+        one = b.insert(arith.ConstantOp.from_int(1)).result
+        eight = b.insert(arith.ConstantOp.from_int(8)).result
+        loop = scf.ParallelOp([zero], [eight], [one])
+        inner = Builder.at_end(loop.body.block)
+        iv = loop.induction_variables[0]
+        here = inner.insert(memref.LoadOp(u, [iv])).result
+        shifted_index = inner.insert(arith.AddiOp(iv, one)).result
+        there = inner.insert(memref.LoadOp(u, [shifted_index])).result
+        total = inner.insert(arith.AddfOp(here, there)).result
+        inner.insert(memref.StoreOp(total, u, [iv]))
+        inner.insert(scf.YieldOp([]))
+        b.insert(loop)
+        b.insert(func.ReturnOp([]))
+        return builtin.ModuleOp([kernel])
+
+    def test_aliased_shifted_store_falls_back_bit_identical(self):
+        module = self._inplace_shifted_module()
+        nest = compile_loop_nest(next(op for op in module.walk() if isinstance(op, scf.ParallelOp)))
+        assert nest is not None  # statically it looks vectorizable...
+        kernel = compile_kernel(module, "kernel")
+        data = np.arange(10, dtype=np.float64)
+        expected = data.copy()
+        Interpreter(module).call("kernel", expected)
+        observed = data.copy()
+        Interpreter(module, kernel=kernel).call("kernel", observed)
+        # ...but the run-time aliasing check must bounce it to the tree
+        # walker, preserving the sequential prefix-sum-like semantics.
+        assert np.array_equal(observed, expected)
+
+    def test_empty_iteration_space(self):
+        program = compile_stencil_program(build_jacobi_module(), cpu_target())
+        initial = _jacobi_inputs(8, 1, seed=31)
+        interp_args, vector_args = _run_both(
+            program, lambda: [initial.copy(), initial.copy()], steps=0
+        )
+        for a, b in zip(interp_args, vector_args):
+            assert np.array_equal(a, b)
+
+
+class TestNestCompiler:
+    def test_loop_carried_for_is_rejected(self):
+        module = build_jacobi_module()
+        time_loop = next(op for op in module.walk() if isinstance(op, scf.ForOp))
+        assert compile_loop_nest(time_loop) is None
+
+    def test_plain_for_nest_is_accepted(self):
+        kernel = func.FuncOp("fill", FunctionType([MemRefType([6], f64)], []))
+        b = Builder.at_end(kernel.body.block)
+        zero = b.insert(arith.ConstantOp.from_int(0)).result
+        one = b.insert(arith.ConstantOp.from_int(1)).result
+        six = b.insert(arith.ConstantOp.from_int(6)).result
+        loop = scf.ForOp(zero, six, one)
+        inner = Builder.at_end(loop.body.block)
+        value = inner.insert(arith.ConstantOp.from_float(2.5, f64)).result
+        inner.insert(memref.StoreOp(value, kernel.args[0], [loop.induction_variable]))
+        inner.insert(scf.YieldOp([]))
+        b.insert(loop)
+        b.insert(func.ReturnOp([]))
+        module = builtin.ModuleOp([kernel])
+        nest = compile_loop_nest(loop)
+        assert isinstance(nest, CompiledNest)
+        data = np.zeros(6)
+        Interpreter(module, kernel=compile_kernel(module, "fill")).call("fill", data)
+        assert np.array_equal(data, np.full(6, 2.5))
+
+    def test_data_dependent_control_flow_is_rejected(self):
+        kernel = func.FuncOp("kernel", FunctionType([MemRefType([4], f64)], []))
+        b = Builder.at_end(kernel.body.block)
+        zero = b.insert(arith.ConstantOp.from_int(0)).result
+        one = b.insert(arith.ConstantOp.from_int(1)).result
+        four = b.insert(arith.ConstantOp.from_int(4)).result
+        loop = scf.ParallelOp([zero], [four], [one])
+        inner = Builder.at_end(loop.body.block)
+        loaded = inner.insert(memref.LoadOp(kernel.args[0], [loop.induction_variables[0]])).result
+        threshold = inner.insert(arith.ConstantOp.from_float(0.0, f64)).result
+        cond = inner.insert(arith.CmpfOp("ogt", loaded, threshold)).result
+        if_op = scf.IfOp(cond)
+        Builder.at_end(if_op.then_region.block).insert(scf.YieldOp([]))
+        inner.insert(if_op)
+        inner.insert(scf.YieldOp([]))
+        b.insert(loop)
+        b.insert(func.ReturnOp([]))
+        assert compile_loop_nest(loop) is None
+
+    def test_kernel_cache_hit(self):
+        program = compile_stencil_program(build_jacobi_module(), cpu_target())
+        first = program.compiled_kernel("kernel")
+        assert program.compiled_kernel("kernel") is first
+        assert first.nest_count >= 1
+
+
+class TestBackendSelection:
+    def test_unknown_backend_rejected(self):
+        program = compile_stencil_program(build_jacobi_module(), cpu_target())
+        with pytest.raises(ExecutionError):
+            run_local(program, [np.zeros(10), np.zeros(10), 1], backend="jit")
+
+    def test_vectorized_requires_a_vectorizable_nest(self):
+        kernel = func.FuncOp("kernel", FunctionType([], []))
+        Builder.at_end(kernel.body.block).insert(func.ReturnOp([]))
+        module = builtin.ModuleOp([kernel])
+        # Build the CompiledProgram by hand: the full pipeline has nothing to
+        # lower in a module without stencil ops.
+        from repro.core.pipeline import CompiledProgram
+        from repro.machine.kernel_model import characterize_module
+
+        program = CompiledProgram(
+            module=module,
+            target=cpu_target(),
+            characteristics=characterize_module(module),
+            stencil_regions=0,
+        )
+        with pytest.raises(ExecutionError):
+            run_local(program, [], backend="vectorized")
+
+    def test_default_function_requires_unambiguous_name(self):
+        from repro.core.pipeline import CompiledProgram
+        from repro.machine.kernel_model import characterize_module
+
+        ops = []
+        for name in ("zeta", "alpha"):
+            fn = func.FuncOp(name, FunctionType([], []))
+            Builder.at_end(fn.body.block).insert(func.ReturnOp([]))
+            ops.append(fn)
+        module = builtin.ModuleOp(ops)
+        program = CompiledProgram(
+            module=module,
+            target=cpu_target(),
+            characteristics=characterize_module(module),
+            stencil_regions=0,
+        )
+        with pytest.raises(ExecutionError, match="alpha.*zeta"):
+            run_local(program, [])
+
+
+class TestAsymmetricHaloScatterGather:
+    def test_round_trip_with_asymmetric_halos(self):
+        strategy = GridSlicingStrategy([2, 2])
+        halo_lower, halo_upper = (2, 1), (1, 2)
+        margin = (2, 2)
+        core = (8, 6)
+        global_array = np.arange(
+            (core[0] + 2 * margin[0]) * (core[1] + 2 * margin[1]), dtype=float
+        ).reshape(core[0] + 2 * margin[0], core[1] + 2 * margin[1])
+        reconstructed = np.zeros_like(global_array)
+        reconstructed[:] = global_array
+        locals_ = []
+        for rank in range(4):
+            local = scatter_field(
+                global_array, strategy, rank, halo_lower, halo_upper, margin
+            )
+            start, end = strategy.global_slab(core, rank)
+            expected_shape = tuple(
+                (e - s) + lo + hi
+                for s, e, lo, hi in zip(start, end, halo_lower, halo_upper)
+            )
+            assert local.shape == expected_shape
+            locals_.append(local)
+        for rank, local in enumerate(locals_):
+            gather_field(
+                reconstructed, local, strategy, rank, halo_lower, halo_upper, margin
+            )
+        assert np.array_equal(reconstructed, global_array)
+
+
+class TestReviewRegressions:
+    """Regression tests for defects found in review of the vectorized backend."""
+
+    def test_parallel_with_inner_for_counts_parallel_points_only(self):
+        # scf.parallel(i: 0..4) { scf.for(j: 0..8) { b[i*?]: store } }: the
+        # tree walker counts cells_updated once per *parallel* point (4), so
+        # the flattened vectorized nest must not count 4*8.
+        kernel = func.FuncOp("kernel", FunctionType([MemRefType([4, 8], f64)], []))
+        b = Builder.at_end(kernel.body.block)
+        zero = b.insert(arith.ConstantOp.from_int(0)).result
+        one = b.insert(arith.ConstantOp.from_int(1)).result
+        four = b.insert(arith.ConstantOp.from_int(4)).result
+        eight = b.insert(arith.ConstantOp.from_int(8)).result
+        loop = scf.ParallelOp([zero], [four], [one])
+        outer = Builder.at_end(loop.body.block)
+        inner_for = scf.ForOp(zero, eight, one)
+        outer.insert(inner_for)
+        outer.insert(scf.YieldOp([]))
+        inner = Builder.at_end(inner_for.body.block)
+        value = inner.insert(arith.ConstantOp.from_float(1.0, f64)).result
+        inner.insert(
+            memref.StoreOp(
+                value, kernel.args[0],
+                [loop.induction_variables[0], inner_for.induction_variable],
+            )
+        )
+        inner.insert(scf.YieldOp([]))
+        b.insert(loop)
+        b.insert(func.ReturnOp([]))
+        module = builtin.ModuleOp([kernel])
+        kernel_compiled = compile_kernel(module, "kernel")
+        assert kernel_compiled.nest_for(loop) is not None  # flattened 2D nest
+
+        data_interp, data_vector = np.zeros((4, 8)), np.zeros((4, 8))
+        interp = Interpreter(module)
+        interp.call("kernel", data_interp)
+        vector = Interpreter(module, kernel=kernel_compiled)
+        vector.call("kernel", data_vector)
+        assert np.array_equal(data_interp, data_vector)
+        assert vector.stats.cells_updated == interp.stats.cells_updated == 4
+
+    def test_multi_store_reads_pre_update_values(self):
+        # v = a[i]; a[i] = v + 1; b[i] = v  — the second store must commit the
+        # *pre-update* v, even though the first store mutates the memory the
+        # loaded view points at.
+        kernel = func.FuncOp(
+            "kernel",
+            FunctionType([MemRefType([6], f64), MemRefType([6], f64)], []),
+        )
+        a_arg, b_arg = kernel.args
+        b = Builder.at_end(kernel.body.block)
+        zero = b.insert(arith.ConstantOp.from_int(0)).result
+        one = b.insert(arith.ConstantOp.from_int(1)).result
+        six = b.insert(arith.ConstantOp.from_int(6)).result
+        loop = scf.ParallelOp([zero], [six], [one])
+        inner = Builder.at_end(loop.body.block)
+        iv = loop.induction_variables[0]
+        loaded = inner.insert(memref.LoadOp(a_arg, [iv])).result
+        one_f = inner.insert(arith.ConstantOp.from_float(1.0, f64)).result
+        bumped = inner.insert(arith.AddfOp(loaded, one_f)).result
+        inner.insert(memref.StoreOp(bumped, a_arg, [iv]))
+        inner.insert(memref.StoreOp(loaded, b_arg, [iv]))
+        inner.insert(scf.YieldOp([]))
+        b.insert(loop)
+        b.insert(func.ReturnOp([]))
+        module = builtin.ModuleOp([kernel])
+
+        initial = np.arange(6, dtype=np.float64)
+        a_i, b_i = initial.copy(), np.zeros(6)
+        Interpreter(module).call("kernel", a_i, b_i)
+        a_v, b_v = initial.copy(), np.zeros(6)
+        Interpreter(module, kernel=compile_kernel(module, "kernel")).call(
+            "kernel", a_v, b_v
+        )
+        assert np.array_equal(a_i, a_v)
+        assert np.array_equal(b_i, b_v)
+        assert np.array_equal(b_v, initial)  # the pre-update values
+
+    def test_store_with_constant_axis_commits_correct_shape(self):
+        # 1-D nest storing into column 3 of a 2-D memref: the store region has
+        # a size-1 axis the nest does not iterate, which the commit must shape
+        # correctly (and not die on broadcasting after other stores applied).
+        kernel = func.FuncOp(
+            "kernel",
+            FunctionType([MemRefType([5], f64), MemRefType([5, 8], f64)], []),
+        )
+        src, dst = kernel.args
+        b = Builder.at_end(kernel.body.block)
+        zero = b.insert(arith.ConstantOp.from_int(0)).result
+        one = b.insert(arith.ConstantOp.from_int(1)).result
+        five = b.insert(arith.ConstantOp.from_int(5)).result
+        three = b.insert(arith.ConstantOp.from_int(3)).result
+        loop = scf.ParallelOp([zero], [five], [one])
+        inner = Builder.at_end(loop.body.block)
+        iv = loop.induction_variables[0]
+        loaded = inner.insert(memref.LoadOp(src, [iv])).result
+        inner.insert(memref.StoreOp(loaded, dst, [iv, three]))
+        inner.insert(scf.YieldOp([]))
+        b.insert(loop)
+        b.insert(func.ReturnOp([]))
+        module = builtin.ModuleOp([kernel])
+
+        source = np.arange(5, dtype=np.float64)
+        dst_i, dst_v = np.zeros((5, 8)), np.zeros((5, 8))
+        Interpreter(module).call("kernel", source.copy(), dst_i)
+        Interpreter(module, kernel=compile_kernel(module, "kernel")).call(
+            "kernel", source.copy(), dst_v
+        )
+        assert np.array_equal(dst_i, dst_v)
+        assert np.array_equal(dst_v[:, 3], source)
+        assert dst_v.sum() == source.sum()  # nothing else written
+
+    def test_affine_data_value_with_free_term(self):
+        # store[i] = sitofp(i + n) where n is a scalar function argument: the
+        # materialised affine must include the nest-external ("free") term.
+        kernel = func.FuncOp(
+            "kernel", FunctionType([MemRefType([4], f64), index], [])
+        )
+        out, n_arg = kernel.args
+        b = Builder.at_end(kernel.body.block)
+        zero = b.insert(arith.ConstantOp.from_int(0)).result
+        one = b.insert(arith.ConstantOp.from_int(1)).result
+        four = b.insert(arith.ConstantOp.from_int(4)).result
+        loop = scf.ParallelOp([zero], [four], [one])
+        inner = Builder.at_end(loop.body.block)
+        iv = loop.induction_variables[0]
+        shifted = inner.insert(arith.AddiOp(iv, n_arg)).result
+        as_float = inner.insert(arith.SIToFPOp(shifted, f64)).result
+        inner.insert(memref.StoreOp(as_float, out, [iv]))
+        inner.insert(scf.YieldOp([]))
+        b.insert(loop)
+        b.insert(func.ReturnOp([]))
+        module = builtin.ModuleOp([kernel])
+        compiled = compile_kernel(module, "kernel")
+        assert compiled.nest_count == 1
+
+        data_interp, data_vector = np.zeros(4), np.zeros(4)
+        Interpreter(module).call("kernel", data_interp, 10)
+        Interpreter(module, kernel=compiled).call("kernel", data_vector, 10)
+        assert np.array_equal(data_interp, [10.0, 11.0, 12.0, 13.0])
+        assert np.array_equal(data_interp, data_vector)

@@ -147,3 +147,51 @@ class TestWorldManagement:
         world = SimulatedMPI(2, timeout=2.0)
         with pytest.raises(MPIRuntimeError):
             world.communicator(0).send(np.zeros(1), dest=7)
+
+
+class TestSpmdDriverTimeouts:
+    def test_deadlocked_world_shares_one_deadline(self):
+        """Joining N deadlocked ranks must wait ~timeout once, not N times."""
+        import time
+
+        world = SimulatedMPI(4, timeout=30.0)
+
+        def body(comm):
+            # Every rank waits for a message nobody sends.
+            comm.recv(np.zeros(1), source=(comm.rank + 1) % comm.size, tag=9)
+
+        start = time.monotonic()
+        with pytest.raises(MPIRuntimeError, match="deadlock"):
+            world.run_spmd(body, timeout=0.5)
+        elapsed = time.monotonic() - start
+        assert elapsed < 4 * 0.5  # the old per-thread join would take >= 2s
+
+    def test_crashed_rank_fails_fast_while_others_block(self):
+        """One raising rank must surface its error, not a join timeout."""
+        import time
+
+        world = SimulatedMPI(3, timeout=30.0)
+
+        def body(comm):
+            if comm.rank == 0:
+                raise RuntimeError("rank zero exploded")
+            comm.recv(np.zeros(1), source=0, tag=3)  # blocks forever
+
+        start = time.monotonic()
+        with pytest.raises(RuntimeError, match="rank zero exploded"):
+            world.run_spmd(body, timeout=20.0)
+        elapsed = time.monotonic() - start
+        assert elapsed < 5.0  # far below the 20s join budget
+
+    def test_originating_error_wins_when_all_ranks_crash(self):
+        world = SimulatedMPI(2, timeout=2.0)
+        barrier = __import__("threading").Barrier(2)
+
+        def body(comm):
+            barrier.wait(timeout=2.0)
+            raise ValueError(f"rank {comm.rank} failed")
+
+        # Fail-fast means whichever rank's error lands first is raised; it
+        # must be one of the originating errors, never a join timeout.
+        with pytest.raises(ValueError, match=r"rank [01] failed"):
+            world.run_spmd(body)
