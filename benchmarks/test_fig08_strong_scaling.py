@@ -2,8 +2,14 @@
 
 The scaling curves come from the alpha-beta + roofline model; a small real
 distributed execution on the simulated MPI runtime is benchmarked alongside so
-the halo-exchange machinery itself is exercised.
+the halo-exchange machinery itself is exercised.  The process-runtime smoke at
+the bottom measures *real* wall-clock strong scaling (the fig. 8 shape) on a
+GIL-bound kernel: thread ranks serialize on the interpreter, process ranks do
+not.
 """
+
+import os
+import time
 
 import numpy as np
 import pytest
@@ -44,3 +50,58 @@ def test_distributed_heat_execution(benchmark, ranks):
 
     result = benchmark(run)
     assert result.messages_sent > 0
+
+
+def _usable_cpus() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def test_process_runtime_strong_scaling_smoke():
+    """4 process ranks must beat 4 thread ranks >= 1.5x on a GIL-bound kernel.
+
+    ``backend="interpreter"`` forces the pure-python tree walker, so the
+    thread world serializes all ranks on the GIL while the process world
+    spreads them over cores — this is the wall-clock analogue of the paper's
+    fig. 8 strong-scaling measurement.  Skipped gracefully where it cannot
+    mean anything (fewer than 4 usable cores, or no process runtime).
+    """
+    from repro.runtime import processes_available, shutdown_worker_pool
+
+    if _usable_cpus() < 4:
+        pytest.skip("needs >= 4 usable CPU cores for a meaningful comparison")
+    if not processes_available():
+        pytest.skip("process runtime unavailable on this platform")
+
+    workload = heat_diffusion((128, 128), space_order=2, dtype=np.float64)
+    module = workload.operator(backend="xdsl").stencil_module(dt=workload.dt)
+    program = compile_stencil_program(module, dmp_target((2, 2)))
+
+    def run(runtime: str) -> float:
+        u0 = np.zeros((130, 130))
+        u0[64:66, 64:66] = 1.0
+        u1 = u0.copy()
+        start = time.perf_counter()
+        result = run_distributed(
+            program, [u0, u1], [4],
+            backend="interpreter", runtime=runtime, timeout=600.0,
+        )
+        elapsed = time.perf_counter() - start
+        assert result.runtime == runtime
+        return elapsed
+
+    try:
+        run("processes")  # warm-up: spawn the pool, ship the program
+        t_processes = min(run("processes") for _ in range(2))
+        t_threads = min(run("threads") for _ in range(2))
+        speedup = t_threads / t_processes
+        print(f"\nstrong-scaling smoke: threads {t_threads:.2f}s, "
+              f"processes {t_processes:.2f}s, speedup {speedup:.2f}x")
+        assert speedup >= 1.5, (
+            f"expected >= 1.5x wall-clock speedup at 4 process ranks, "
+            f"got {speedup:.2f}x"
+        )
+    finally:
+        shutdown_worker_pool()

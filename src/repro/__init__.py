@@ -8,7 +8,10 @@ Package layout:
   paper's stencil, dmp and mpi dialects.
 * :mod:`repro.transforms` — optimisations and lowerings (stencil->loops,
   global-to-local decomposition, dmp->mpi, mpi->library calls, scf->OpenMP...).
-* :mod:`repro.interp` — the IR interpreter and the simulated MPI runtime.
+* :mod:`repro.interp` — the IR interpreter and the thread-backed simulated
+  MPI runtime.
+* :mod:`repro.runtime` — the OS-process SPMD runtime: shared-memory fields
+  and a persistent worker pool for real multi-core strong scaling.
 * :mod:`repro.machine` — performance models of ARCHER2, Slingshot, V100, U280.
 * :mod:`repro.frontends` — miniature Devito, PSyclone and OEC-style frontends.
 * :mod:`repro.core` — targets, the shared pipeline and executors.

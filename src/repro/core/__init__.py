@@ -10,6 +10,7 @@ This is the paper's primary contribution packaged behind a small API::
 
 from .executor import (
     EXECUTION_BACKENDS,
+    EXECUTION_RUNTIMES,
     ExecutionError,
     ExecutionResult,
     gather_field,
@@ -34,4 +35,5 @@ __all__ = [
     "CompiledProgram", "compile_stencil_program", "CompilationError",
     "run_local", "run_distributed", "scatter_field", "gather_field",
     "ExecutionResult", "ExecutionError", "EXECUTION_BACKENDS",
+    "EXECUTION_RUNTIMES",
 ]

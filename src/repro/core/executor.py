@@ -2,9 +2,14 @@
 
 The executor plays the role of the job launcher + MPI runtime of the paper's
 testbed: for distributed targets it scatters the global fields into per-rank
-local buffers (core slab plus halo), runs every rank of the SPMD program in
-its own thread against a :class:`~repro.interp.mpi_runtime.SimulatedMPI`
-world, and gathers the cores back into the global arrays.
+local buffers (core slab plus halo), runs every rank of the SPMD program —
+in its own thread against a :class:`~repro.interp.mpi_runtime.SimulatedMPI`
+world (``runtime="threads"``), or in its own OS process with shared-memory
+field buffers (``runtime="processes"``, see :mod:`repro.runtime`) — and
+gathers the cores back into the global arrays.  Both runtimes produce
+bit-identical fields and matching communication statistics; the process
+runtime additionally delivers real multi-core speedup because ranks no longer
+share one GIL.
 """
 
 from __future__ import annotations
@@ -14,9 +19,10 @@ from typing import Any, Optional, Sequence
 
 import numpy as np
 
-from ..interp import ExecStatistics, Interpreter, SimulatedMPI
+from ..interp import CommStatistics, ExecStatistics, Interpreter, SimulatedMPI
 from ..interp.vectorize import CompiledKernel
 from ..transforms.distribute import DecompositionStrategy, GridSlicingStrategy
+from .. import runtime as _process_runtime
 from .pipeline import CompiledProgram
 
 
@@ -35,6 +41,17 @@ class ExecutionError(Exception):
 #: * ``"interpreter"`` — force the per-cell tree walker everywhere (the
 #:   reference semantics).
 EXECUTION_BACKENDS = ("auto", "interpreter", "vectorized")
+
+#: Valid values of the ``runtime`` parameter of :func:`run_distributed`:
+#:
+#: * ``"threads"`` (default) — every rank runs in a Python thread of this
+#:   process against one shared :class:`~repro.interp.SimulatedMPI` world
+#:   (cheap, always available, serialized by the GIL outside NumPy);
+#: * ``"processes"`` — every rank runs in its own OS process from the
+#:   persistent worker pool, with shared-memory field buffers and
+#:   queue-backed messaging (real multi-core scaling).  Falls back to
+#:   ``"threads"`` automatically when shared memory is unavailable.
+EXECUTION_RUNTIMES = ("threads", "processes")
 
 
 def _kernel_for_backend(
@@ -63,6 +80,11 @@ class ExecutionResult:
     statistics: list[ExecStatistics]
     messages_sent: int = 0
     bytes_sent: int = 0
+    #: Full world-wide communication counters (distributed runs only).
+    comm_statistics: Optional[CommStatistics] = None
+    #: The runtime that actually executed: "local", "threads" or "processes"
+    #: (reflects the automatic fallback, not just the request).
+    runtime: str = "local"
 
     @property
     def total_cells_updated(self) -> int:
@@ -157,6 +179,7 @@ def run_distributed(
     margin: Optional[Sequence[int]] = None,
     timeout: float = 60.0,
     backend: str = "auto",
+    runtime: str = "threads",
 ) -> ExecutionResult:
     """Run a distributed compiled program on the simulated MPI world.
 
@@ -164,19 +187,39 @@ def run_distributed(
     field arguments must come before the scalar arguments in the kernel's
     signature (the convention every frontend in this project follows).
     ``backend`` selects the execution engine (see :data:`EXECUTION_BACKENDS`);
-    the vectorized kernel is compiled once and shared by all ranks.
+    the vectorized kernel is compiled once per process and shared by all
+    ranks.  ``runtime`` selects thread-ranks or OS-process-ranks (see
+    :data:`EXECUTION_RUNTIMES`); both produce bit-identical fields and
+    matching communication statistics.
     """
     if program.distribution is None or program.target.rank_grid is None:
         raise ExecutionError("program was not compiled for a distributed target")
+    if runtime not in EXECUTION_RUNTIMES:
+        raise ExecutionError(
+            f"unknown execution runtime {runtime!r}; expected one of "
+            f"{', '.join(EXECUTION_RUNTIMES)}"
+        )
     function_name = function or _default_function(program)
-    kernel = _kernel_for_backend(program, function_name, backend)
+    if runtime == "processes" and not _process_runtime.processes_available():
+        runtime = "threads"  # automatic fallback: same semantics, one process
+    # The thread runtime shares one parent-compiled kernel across all ranks;
+    # process workers rebuild their own (the cache is process-local), so the
+    # parent only compiles when the kernel is used here — or when the
+    # backend="vectorized" nest-count validation requires it.
+    kernel: Optional[CompiledKernel] = None
+    if runtime == "threads" or backend == "vectorized":
+        kernel = _kernel_for_backend(program, function_name, backend)
+    elif backend not in EXECUTION_BACKENDS:
+        raise ExecutionError(
+            f"unknown execution backend {backend!r}; expected one of "
+            f"{', '.join(EXECUTION_BACKENDS)}"
+        )
     strategy = GridSlicingStrategy(program.target.rank_grid)
     domain = program.distribution.local_domain
     halo_lower, halo_upper = domain.halo_lower, domain.halo_upper
     if margin is None:
         margin = halo_lower
 
-    world = SimulatedMPI(strategy.rank_count, timeout=timeout)
     local_fields: list[list[np.ndarray]] = []
     for rank in range(strategy.rank_count):
         local_fields.append(
@@ -186,24 +229,14 @@ def run_distributed(
             ]
         )
 
-    statistics: list[Optional[ExecStatistics]] = [None] * strategy.rank_count
-
-    def body(comm):
-        interpreter = Interpreter(program.module, comm=comm, kernel=kernel)
-        interpreter.call(
-            function_name, *local_fields[comm.rank], *scalar_arguments
+    if runtime == "processes":
+        statistics, comm_statistics = _process_runtime.run_program_processes(
+            program, function_name, backend, local_fields, scalar_arguments,
+            timeout=timeout,
         )
-        statistics[comm.rank] = interpreter.stats
-        return None
-
-    # run_spmd fails fast with the originating rank's exception, so a crashed
-    # rank can never leave us gathering half-written fields below.
-    world.run_spmd(body, timeout=timeout)
-    missing = [rank for rank, stats in enumerate(statistics) if stats is None]
-    if missing:
-        raise ExecutionError(
-            f"ranks {missing} finished without reporting statistics; "
-            "the SPMD execution did not complete"
+    else:
+        statistics, comm_statistics = _run_spmd_threads(
+            program, function_name, kernel, local_fields, scalar_arguments, timeout
         )
 
     for rank in range(strategy.rank_count):
@@ -214,9 +247,44 @@ def run_distributed(
 
     return ExecutionResult(
         statistics=list(statistics),
-        messages_sent=world.statistics.messages_sent,
-        bytes_sent=world.statistics.bytes_sent,
+        messages_sent=comm_statistics.messages_sent,
+        bytes_sent=comm_statistics.bytes_sent,
+        comm_statistics=comm_statistics,
+        runtime=runtime,
     )
+
+
+def _run_spmd_threads(
+    program: CompiledProgram,
+    function_name: str,
+    kernel: Optional[CompiledKernel],
+    local_fields: Sequence[Sequence[np.ndarray]],
+    scalar_arguments: Sequence[Any],
+    timeout: float,
+) -> tuple[list[ExecStatistics], CommStatistics]:
+    """Run every rank in a thread of this process (the GIL-shared world)."""
+    size = len(local_fields)
+    world = SimulatedMPI(size, timeout=timeout)
+    statistics: list[Optional[ExecStatistics]] = [None] * size
+
+    def body(comm):
+        interpreter = Interpreter(program.module, comm=comm, kernel=kernel)
+        interpreter.call(
+            function_name, *local_fields[comm.rank], *scalar_arguments
+        )
+        statistics[comm.rank] = interpreter.stats
+        return None
+
+    # run_spmd fails fast with the originating rank's exception, so a crashed
+    # rank can never leave us gathering half-written fields afterwards.
+    world.run_spmd(body, timeout=timeout)
+    missing = [rank for rank, stats in enumerate(statistics) if stats is None]
+    if missing:
+        raise ExecutionError(
+            f"ranks {missing} finished without reporting statistics; "
+            "the SPMD execution did not complete"
+        )
+    return list(statistics), world.statistics
 
 
 def _default_function(program: CompiledProgram) -> str:

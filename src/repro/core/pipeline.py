@@ -72,6 +72,19 @@ class CompiledProgram:
         default_factory=dict, repr=False, compare=False
     )
 
+    def __getstate__(self) -> dict:
+        """Pickle support (the process runtime ships programs to workers).
+
+        The vectorized-kernel cache is process-local — nests are keyed by
+        operation identity and close over this process's module objects — so
+        it is dropped on the wire and rebuilt lazily by the receiver.  The
+        worker pool's shipping key is likewise parent-private.
+        """
+        state = self.__dict__.copy()
+        state["_kernel_cache"] = {}
+        state.pop("_pool_program_key", None)
+        return state
+
     def compiled_kernel(self, function_name: str) -> "CompiledKernel":
         """The vectorized kernel for one function (compiled once, then cached).
 

@@ -326,6 +326,7 @@ class Operator:
         *,
         backend: str = "xdsl",
         target: Optional[Target] = None,
+        runtime: str = "threads",
         name: str = "kernel",
     ):
         if isinstance(equations, Eq):
@@ -337,6 +338,9 @@ class Operator:
         self.equations = list(equations)
         self.backend = backend
         self.target = target or cpu_target()
+        #: Distributed execution runtime ("threads" or "processes"); only
+        #: consulted when the target is distributed.
+        self.runtime = runtime
         self.name = name
         self._compiled: Optional[CompiledProgram] = None
         self._compiled_dt: Optional[float] = None
@@ -379,7 +383,10 @@ class Operator:
         program = self.compile(dt)
         arguments = self._field_arguments()
         if program.target.is_distributed:
-            run_distributed(program, arguments, [int(time)], function=self.name)
+            run_distributed(
+                program, arguments, [int(time)],
+                function=self.name, runtime=self.runtime,
+            )
         else:
             run_local(program, [*arguments, int(time)], function=self.name)
 

@@ -42,9 +42,13 @@ and identical ``cells_updated`` / ``halo_swaps`` statistics, so cost models
 and tests are backend-agnostic; only ``ops_executed`` shrinks on the
 vectorized path because per-cell dispatch no longer happens.
 
-Distributed programs execute against a :class:`SimulatedMPI` world — each
-rank runs one interpreter instance (sharing one compiled kernel) in its own
-thread.
+Distributed programs execute against one of two worlds implementing the same
+:class:`~repro.interp.mpi_runtime.CommunicatorBase` interface (selected by
+``run_distributed(runtime=...)``): the :class:`SimulatedMPI` thread world
+here — each rank runs one interpreter instance, sharing one compiled kernel,
+in its own thread — or the OS-process world of :mod:`repro.runtime`, where
+each rank is a pooled worker process computing on shared-memory field
+buffers.  Both produce bit-identical fields and matching statistics.
 """
 
 from .interpreter import (
@@ -57,6 +61,7 @@ from .interpreter import (
 )
 from .mpi_runtime import (
     CommStatistics,
+    CommunicatorBase,
     MPIRuntimeError,
     RankCommunicator,
     SimRequest,
@@ -76,8 +81,8 @@ __all__ = [
     "RequestArray", "RequestRef",
     "CompiledKernel", "CompiledNest", "VectorizationError",
     "compile_kernel", "compile_loop_nest",
-    "SimulatedMPI", "RankCommunicator", "SimRequest", "MPIRuntimeError",
-    "CommStatistics",
+    "SimulatedMPI", "RankCommunicator", "CommunicatorBase", "SimRequest",
+    "MPIRuntimeError", "CommStatistics",
     "MemRefValue", "PointerValue", "RequestHandle", "DataTypeValue",
     "numpy_dtype_for",
 ]

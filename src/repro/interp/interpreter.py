@@ -27,7 +27,7 @@ from ..dialects import arith, builtin, dmp, func, gpu, hls, memref, mpi, omp, sc
 from ..ir.attributes import FloatAttr, IntegerAttr
 from ..ir.core import Block, BlockArgument, Operation, SSAValue
 from ..ir.types import IntegerType, is_float_type
-from .mpi_runtime import RankCommunicator, SimRequest
+from .mpi_runtime import CommunicatorBase
 from .values import (
     DataTypeValue,
     MemRefValue,
@@ -104,7 +104,7 @@ class Interpreter:
         self,
         module: builtin.ModuleOp,
         *,
-        comm: Optional[RankCommunicator] = None,
+        comm: Optional[CommunicatorBase] = None,
         kernel: Optional["CompiledKernel"] = None,
     ):
         self.module = module
@@ -217,7 +217,7 @@ class Interpreter:
         raise InterpreterError(f"value {value!r} is not buffer-like")
 
     # -- MPI helpers ------------------------------------------------------------------
-    def require_comm(self) -> RankCommunicator:
+    def require_comm(self) -> CommunicatorBase:
         if self.comm is None:
             raise InterpreterError(
                 "this program performs message passing but no communicator was "
@@ -322,20 +322,20 @@ def _mark_send_complete(request_value: Any) -> None:
     slot.null = False
 
 
-def _store_pending(request_value: Any, request: SimRequest) -> None:
+def _store_pending(request_value: Any, request: Any) -> None:
     slot = _request_slot(request_value)
     slot.pending = request
     slot.null = False
 
 
-def _wait_request(comm: RankCommunicator, request_value: Any) -> None:
+def _wait_request(comm: CommunicatorBase, request_value: Any) -> None:
     slot = _request_slot(request_value)
     if slot.pending is not None:
         comm.wait(slot.pending)
         slot.pending = None
 
 
-def _waitall(comm: RankCommunicator, requests_value: Any) -> None:
+def _waitall(comm: CommunicatorBase, requests_value: Any) -> None:
     if isinstance(requests_value, RequestArray):
         slots = requests_value.slots
     elif isinstance(requests_value, RequestRef):
@@ -1163,7 +1163,7 @@ def run_function(
     function_name: str,
     args: Sequence[Any] = (),
     *,
-    comm: Optional[RankCommunicator] = None,
+    comm: Optional[CommunicatorBase] = None,
 ) -> tuple[list[Any], ExecStatistics]:
     """Convenience wrapper: run one function and return (results, statistics)."""
     interpreter = Interpreter(module, comm=comm)

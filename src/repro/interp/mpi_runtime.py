@@ -13,15 +13,23 @@ executes in its own thread against a shared :class:`SimulatedMPI` world:
 
 Statistics (message and byte counts) are recorded so tests and the performance
 model can check communication volumes against the analytic expectations.
+
+:class:`CommunicatorBase` is the rank-level interface the interpreter programs
+against.  It owns the collective algorithms (expressed purely in terms of the
+abstract point-to-point primitives and the reserved tag space), so every world
+implementation — the thread-backed :class:`SimulatedMPI` here and the
+OS-process world in :mod:`repro.runtime.mp_world` — exhibits byte-identical
+message traffic and statistics for the same program.
 """
 
 from __future__ import annotations
 
 import threading
 import time
+from abc import ABC, abstractmethod
 from collections import defaultdict, deque
 from dataclasses import dataclass, field
-from typing import Callable, Optional, Sequence
+from typing import Any, Callable, Optional, Sequence
 
 import numpy as np
 
@@ -77,6 +85,140 @@ class SimRequest:
             return
         self.comm.world.wait_recv(self, timeout)
         self.completed = True
+
+
+class CommunicatorBase(ABC):
+    """The per-rank MPI interface both execution runtimes implement.
+
+    Subclasses provide the point-to-point transport (buffered sends, blocking
+    and non-blocking receives) and the statistics hooks; the collective subset
+    of the paper is implemented *here*, on top of those primitives, with
+    reserved tags — so the thread world and the process world produce the same
+    message counts, byte counts and deterministic reduction order.
+    """
+
+    rank: int
+
+    @property
+    @abstractmethod
+    def size(self) -> int:
+        """Number of ranks in the world."""
+
+    # -- point to point (transport-specific) ---------------------------------
+    @abstractmethod
+    def send(self, data: np.ndarray, dest: int, tag: int = 0) -> None:
+        """Buffered send: never blocks."""
+
+    @abstractmethod
+    def isend(self, data: np.ndarray, dest: int, tag: int = 0) -> Any:
+        """Non-blocking send; returns a request with ``test``/``wait``."""
+
+    @abstractmethod
+    def recv(self, buffer: np.ndarray, source: int, tag: int = 0) -> np.ndarray:
+        """Blocking receive into ``buffer`` (matched by source and tag)."""
+
+    @abstractmethod
+    def irecv(self, buffer: np.ndarray, source: int, tag: int = 0) -> Any:
+        """Non-blocking receive; returns a request with ``test``/``wait``."""
+
+    @abstractmethod
+    def wait(self, request: Any) -> None:
+        """Block until a request completes."""
+
+    def waitall(self, requests: Sequence[Any]) -> None:
+        for request in requests:
+            if request is not None:
+                self.wait(request)
+
+    def test(self, request: Any) -> bool:
+        return request.test()
+
+    # -- statistics hooks ----------------------------------------------------
+    @abstractmethod
+    def _record_collective(self) -> None:
+        """Count one collective invocation on this rank."""
+
+    @abstractmethod
+    def _record_barrier(self) -> None:
+        """Count one barrier invocation on this rank."""
+
+    # -- collectives (shared by all transports) ------------------------------
+    def barrier(self) -> None:
+        self._record_barrier()
+        token = np.zeros(1, dtype=np.int8)
+        self._collective_gather_scatter(token)
+
+    def reduce(self, data: np.ndarray, operation: str = "sum", root: int = 0) -> Optional[np.ndarray]:
+        if operation not in ("sum", "prod", "min", "max", "land", "lor"):
+            raise MPIRuntimeError(f"unknown reduction operation {operation!r}")
+        self._record_collective()
+        tag = _COLLECTIVE_TAG_BASE + 1
+        data = np.asarray(data)
+        if self.rank == root:
+            accumulator = np.array(data, copy=True)
+            for source in range(self.size):
+                if source == root:
+                    continue
+                contribution = np.empty_like(data)
+                self.recv(contribution, source, tag)
+                accumulator = _combine(accumulator, contribution, operation)
+            return accumulator
+        self.send(data, root, tag)
+        return None
+
+    def allreduce(self, data: np.ndarray, operation: str = "sum") -> np.ndarray:
+        reduced = self.reduce(data, operation, root=0)
+        return self.bcast(reduced if self.rank == 0 else np.empty_like(np.asarray(data)), root=0)
+
+    def bcast(self, data: np.ndarray, root: int = 0) -> np.ndarray:
+        self._record_collective()
+        tag = _COLLECTIVE_TAG_BASE + 2
+        data = np.asarray(data)
+        if self.rank == root:
+            for dest in range(self.size):
+                if dest != root:
+                    self.send(data, dest, tag)
+            return data
+        buffer = np.empty_like(data)
+        self.recv(buffer, root, tag)
+        return buffer
+
+    def gather(self, data: np.ndarray, root: int = 0) -> Optional[np.ndarray]:
+        self._record_collective()
+        tag = _COLLECTIVE_TAG_BASE + 3
+        data = np.asarray(data)
+        if self.rank == root:
+            parts = [None] * self.size
+            parts[root] = np.array(data, copy=True)
+            for source in range(self.size):
+                if source == root:
+                    continue
+                buffer = np.empty_like(data)
+                self.recv(buffer, source, tag)
+                parts[source] = buffer
+            return np.stack(parts)
+        self.send(data, root, tag)
+        return None
+
+    def _collective_gather_scatter(self, token: np.ndarray) -> None:
+        """A naive barrier: gather tokens at rank 0, then broadcast a release."""
+        tag_in = _COLLECTIVE_TAG_BASE + 4
+        tag_out = _COLLECTIVE_TAG_BASE + 5
+        if self.rank == 0:
+            for source in range(1, self.size):
+                self.recv(np.empty_like(token), source, tag_in)
+            for dest in range(1, self.size):
+                self.send(token, dest, tag_out)
+        else:
+            self.send(token, 0, tag_in)
+            self.recv(np.empty_like(token), 0, tag_out)
+
+    # -- lifecycle -----------------------------------------------------------
+    def init(self) -> None:
+        """MPI_Init equivalent (a no-op; the world exists already)."""
+
+    def finalize(self) -> None:
+        """MPI_Finalize equivalent."""
 
 
 class SimulatedMPI:
@@ -199,8 +341,8 @@ class SimulatedMPI:
         return results
 
 
-class RankCommunicator:
-    """The per-rank MPI interface used by the interpreter and by examples."""
+class RankCommunicator(CommunicatorBase):
+    """The thread-world rank interface used by the interpreter and examples."""
 
     def __init__(self, world: SimulatedMPI, rank: int):
         self.world = world
@@ -229,89 +371,14 @@ class RankCommunicator:
     def wait(self, request: SimRequest) -> None:
         request.wait(self.world.timeout)
 
-    def waitall(self, requests: Sequence[SimRequest]) -> None:
-        for request in requests:
-            if request is not None:
-                request.wait(self.world.timeout)
+    # -- statistics hooks --------------------------------------------------------
+    def _record_collective(self) -> None:
+        self.world.statistics.collectives += 1
 
-    def test(self, request: SimRequest) -> bool:
-        return request.test()
-
-    # -- collectives -----------------------------------------------------------------
-    def barrier(self) -> None:
+    def _record_barrier(self) -> None:
         self.world.statistics.barriers += 1
-        token = np.zeros(1, dtype=np.int8)
-        self._collective_gather_scatter(token, lambda parts: token)
-
-    def reduce(self, data: np.ndarray, operation: str = "sum", root: int = 0) -> Optional[np.ndarray]:
-        if operation not in ("sum", "prod", "min", "max", "land", "lor"):
-            raise MPIRuntimeError(f"unknown reduction operation {operation!r}")
-        self.world.statistics.collectives += 1
-        tag = _COLLECTIVE_TAG_BASE + 1
-        data = np.asarray(data)
-        if self.rank == root:
-            accumulator = np.array(data, copy=True)
-            for source in range(self.size):
-                if source == root:
-                    continue
-                contribution = np.empty_like(data)
-                self.recv(contribution, source, tag)
-                accumulator = _combine(accumulator, contribution, operation)
-            return accumulator
-        self.send(data, root, tag)
-        return None
-
-    def allreduce(self, data: np.ndarray, operation: str = "sum") -> np.ndarray:
-        reduced = self.reduce(data, operation, root=0)
-        return self.bcast(reduced if self.rank == 0 else np.empty_like(np.asarray(data)), root=0)
-
-    def bcast(self, data: np.ndarray, root: int = 0) -> np.ndarray:
-        self.world.statistics.collectives += 1
-        tag = _COLLECTIVE_TAG_BASE + 2
-        data = np.asarray(data)
-        if self.rank == root:
-            for dest in range(self.size):
-                if dest != root:
-                    self.send(data, dest, tag)
-            return data
-        buffer = np.empty_like(data)
-        self.recv(buffer, root, tag)
-        return buffer
-
-    def gather(self, data: np.ndarray, root: int = 0) -> Optional[np.ndarray]:
-        self.world.statistics.collectives += 1
-        tag = _COLLECTIVE_TAG_BASE + 3
-        data = np.asarray(data)
-        if self.rank == root:
-            parts = [None] * self.size
-            parts[root] = np.array(data, copy=True)
-            for source in range(self.size):
-                if source == root:
-                    continue
-                buffer = np.empty_like(data)
-                self.recv(buffer, source, tag)
-                parts[source] = buffer
-            return np.stack(parts)
-        self.send(data, root, tag)
-        return None
-
-    def _collective_gather_scatter(self, token: np.ndarray, fn) -> None:
-        """A naive barrier: gather tokens at rank 0, then broadcast a release."""
-        tag_in = _COLLECTIVE_TAG_BASE + 4
-        tag_out = _COLLECTIVE_TAG_BASE + 5
-        if self.rank == 0:
-            for source in range(1, self.size):
-                self.recv(np.empty_like(token), source, tag_in)
-            for dest in range(1, self.size):
-                self.send(token, dest, tag_out)
-        else:
-            self.send(token, 0, tag_in)
-            self.recv(np.empty_like(token), 0, tag_out)
 
     # -- lifecycle ------------------------------------------------------------------
-    def init(self) -> None:
-        """MPI_Init equivalent (a no-op; the world exists already)."""
-
     def finalize(self) -> None:
         self.world.mark_finalized(self.rank)
 

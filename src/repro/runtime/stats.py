@@ -1,0 +1,68 @@
+"""Picklable per-rank statistics and their deterministic parent-side merge.
+
+Workers of the process runtime report one :class:`RankStats` each over the
+result queue; both payload types (:class:`~repro.interp.ExecStatistics` and
+:class:`~repro.interp.CommStatistics`) are plain int dataclasses, so they
+cross the process boundary untouched.  The parent merges them *in rank order*
+so repeated runs — and the thread runtime, whose world keeps one shared
+counter set — always produce identical aggregate numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..interp.interpreter import ExecStatistics
+from ..interp.mpi_runtime import CommStatistics
+
+
+@dataclass
+class RankStats:
+    """Everything one worker reports about one rank of one run."""
+
+    rank: int
+    exec_stats: ExecStatistics
+    comm_stats: CommStatistics
+
+
+def merge_comm_statistics(per_rank: Sequence[CommStatistics]) -> CommStatistics:
+    """Sum per-rank communication counters (rank order, hence deterministic).
+
+    The thread world counts every ``post_message`` into one shared
+    :class:`CommStatistics`; summing each process rank's local counters yields
+    the same totals because both runtimes run the identical collective
+    algorithms of :class:`~repro.interp.mpi_runtime.CommunicatorBase`.
+    """
+    merged = CommStatistics()
+    for stats in per_rank:
+        merged.messages_sent += stats.messages_sent
+        merged.bytes_sent += stats.bytes_sent
+        merged.collectives += stats.collectives
+        merged.barriers += stats.barriers
+    return merged
+
+
+def combine_exec_statistics(per_rank: Sequence[ExecStatistics]) -> ExecStatistics:
+    """Sum per-rank execution counters into one world-wide summary."""
+    merged = ExecStatistics()
+    for stats in per_rank:
+        merged.ops_executed += stats.ops_executed
+        merged.kernel_launches += stats.kernel_launches
+        merged.host_synchronizations += stats.host_synchronizations
+        merged.omp_regions += stats.omp_regions
+        merged.omp_barriers += stats.omp_barriers
+        merged.halo_swaps += stats.halo_swaps
+        merged.halo_elements_exchanged += stats.halo_elements_exchanged
+        merged.mpi_messages += stats.mpi_messages
+        merged.cells_updated += stats.cells_updated
+    return merged
+
+
+def sort_rank_stats(reports: Sequence[RankStats]) -> list[RankStats]:
+    """Order worker reports by rank (workers finish in arbitrary order)."""
+    ordered = sorted(reports, key=lambda report: report.rank)
+    ranks = [report.rank for report in ordered]
+    if ranks != list(range(len(ordered))):
+        raise ValueError(f"incomplete or duplicated rank reports: {ranks}")
+    return ordered

@@ -1,0 +1,424 @@
+"""A persistent pool of SPMD worker processes.
+
+Spawning an OS process and importing the compiler stack costs far more than
+one small stencil run, so the pool is *persistent*: workers are started once
+per interpreter session and reused by every subsequent
+``run_distributed(runtime="processes")`` call.  Programs are compiled once in
+the parent, pickled once per worker (the vectorized-kernel cache is dropped on
+the wire and rebuilt lazily), and cached worker-side on the unpickled
+:class:`~repro.core.CompiledProgram` itself — so repeated runs, e.g. a
+benchmark's timing loop, ship nothing and recompile nothing.
+
+Protocol (all tuples over per-worker command queues and one shared result
+queue):
+
+* ``("program", key, payload)`` — cache a pickled program under ``key``;
+* ``("run", run_id, key, rank, size, function, backend, field_specs,
+  scalars, timeout)`` — attach the shared-memory fields and execute one rank;
+* ``("spmd", run_id, rank, size, payload, timeout)`` — run an arbitrary
+  picklable ``fn(comm, *args)`` (tests and ad-hoc experiments);
+* ``("stop",)`` — exit the worker loop.
+
+Workers answer ``("done", run_id, rank, result, comm_stats)`` or
+``("error", run_id, rank, description)``.  A failed or timed-out run poisons
+the pool (peers may still be blocked in receives), so the pool is shut down
+and the next run transparently starts a fresh one.
+"""
+
+from __future__ import annotations
+
+import atexit
+import contextlib
+import itertools
+import pickle
+import queue as queue_module
+import sys
+import threading
+import time
+import traceback
+from typing import Any, Callable, Optional, Sequence
+
+import numpy as np
+
+from ..interp.interpreter import ExecStatistics, Interpreter
+from ..interp.mpi_runtime import CommStatistics
+from .mp_world import (
+    ProcessRankCommunicator,
+    SharedField,
+    SharedFieldSpec,
+    default_context,
+    processes_available,
+)
+from .stats import RankStats, merge_comm_statistics, sort_rank_stats
+
+
+class WorkerError(RuntimeError):
+    """A worker rank failed or the pool timed out; carries the remote detail."""
+
+
+class _PoolReplacedError(Exception):
+    """Internal: the pool was shut down (grown/replaced) before this run
+    acquired it; the caller should fetch the current pool and retry."""
+
+
+@contextlib.contextmanager
+def _deep_recursion(limit: int = 10_000):
+    """Temporarily raise the recursion limit for (un)pickling IR modules.
+
+    The pickler walks the use-def graph recursively, so serialization depth
+    grows with the length of SSA dependency chains — a few thousand frames
+    for the larger lowered modules, past the default limit of 1000.
+    """
+    previous = sys.getrecursionlimit()
+    sys.setrecursionlimit(max(previous, limit))
+    try:
+        yield
+    finally:
+        sys.setrecursionlimit(previous)
+
+
+# ---------------------------------------------------------------------------
+# worker side
+# ---------------------------------------------------------------------------
+
+def _worker_main(worker_index: int, commands, results, inboxes) -> None:
+    """The worker loop: cache programs, execute ranks, report statistics."""
+    programs: dict[int, Any] = {}
+    while True:
+        command = commands.get()
+        kind = command[0]
+        if kind == "stop":
+            return
+        if kind == "program":
+            _, key, payload = command
+            with _deep_recursion():
+                programs[key] = pickle.loads(payload)
+            continue
+        if kind == "run":
+            (_, run_id, key, rank, size, function_name, backend,
+             field_specs, scalars, timeout) = command
+            fields: list[SharedField] = []
+            try:
+                program = programs[key]
+                # Cached on the worker's CompiledProgram: compiled on the
+                # first run of this program and shared by every later run.
+                kernel = (
+                    None if backend == "interpreter"
+                    else program.compiled_kernel(function_name)
+                )
+                fields = [SharedField.attach(spec) for spec in field_specs]
+                comm = ProcessRankCommunicator(
+                    rank, size, inboxes, run_id=run_id, timeout=timeout
+                )
+                interpreter = Interpreter(program.module, comm=comm, kernel=kernel)
+                interpreter.call(
+                    function_name, *[field.array for field in fields], *scalars
+                )
+                results.put(
+                    ("done", run_id, rank, interpreter.stats, comm.statistics)
+                )
+            except BaseException as err:  # noqa: BLE001 - ship to the parent
+                results.put(
+                    ("error", run_id, rank,
+                     f"{type(err).__name__}: {err}\n{traceback.format_exc()}")
+                )
+            finally:
+                for field in fields:
+                    field.release()
+            continue
+        if kind == "spmd":
+            _, run_id, rank, size, payload, timeout = command
+            try:
+                fn, args = pickle.loads(payload)
+                comm = ProcessRankCommunicator(
+                    rank, size, inboxes, run_id=run_id, timeout=timeout
+                )
+                value = fn(comm, *args)
+                results.put(("done", run_id, rank, value, comm.statistics))
+            except BaseException as err:  # noqa: BLE001 - ship to the parent
+                results.put(
+                    ("error", run_id, rank,
+                     f"{type(err).__name__}: {err}\n{traceback.format_exc()}")
+                )
+            continue
+
+
+# ---------------------------------------------------------------------------
+# parent side
+# ---------------------------------------------------------------------------
+
+_PROGRAM_KEYS = itertools.count(1)
+
+
+class WorkerPool:
+    """A fixed-size set of long-lived worker processes plus their queues."""
+
+    def __init__(self, size: int):
+        self._ctx = default_context()
+        self.size = size
+        self.alive = True
+        # One run at a time: the workers and the result queue are shared
+        # state, so concurrent run_program/run_spmd calls (e.g. from two
+        # caller threads) must serialize — interleaved rank commands would
+        # cross-deadlock and each collector would discard the other run's
+        # reports.
+        self._run_lock = threading.Lock()
+        #: Programs shipped per worker (so re-runs ship nothing).
+        self._shipped: list[set[int]] = [set() for _ in range(size)]
+        self.programs_shipped = 0
+        self._run_ids = itertools.count(1)
+        self._inboxes = [self._ctx.Queue() for _ in range(size)]
+        self._results = self._ctx.Queue()
+        self._commands = [self._ctx.Queue() for _ in range(size)]
+        self._processes = [
+            self._ctx.Process(
+                target=_worker_main,
+                args=(index, self._commands[index], self._results, self._inboxes),
+                daemon=True,
+                name=f"repro-spmd-worker-{index}",
+            )
+            for index in range(size)
+        ]
+        for process in self._processes:
+            process.start()
+
+    # -- program shipping -----------------------------------------------------
+    def ship_program(self, program, ranks: int) -> int:
+        """Serialize ``program`` once and send it to the first ``ranks`` workers.
+
+        The key is stashed on the program object, so re-running the same
+        compiled program never re-pickles or re-sends it.
+        """
+        key = getattr(program, "_pool_program_key", None)
+        if key is None:
+            key = next(_PROGRAM_KEYS)
+            program._pool_program_key = key
+        payload: Optional[bytes] = None
+        for index in range(ranks):
+            if key in self._shipped[index]:
+                continue
+            if payload is None:
+                with _deep_recursion():
+                    payload = pickle.dumps(program)
+            self._commands[index].put(("program", key, payload))
+            self._shipped[index].add(key)
+            self.programs_shipped += 1
+        return key
+
+    # -- execution ------------------------------------------------------------
+    def run_program(
+        self,
+        program,
+        function_name: str,
+        backend: str,
+        field_specs: Sequence[Sequence[SharedFieldSpec]],
+        scalar_arguments: Sequence[Any],
+        timeout: float,
+    ) -> list[RankStats]:
+        """Execute one rank per worker against pre-scattered shared fields."""
+        size = len(field_specs)
+        if size > self.size:
+            raise WorkerError(f"pool of {self.size} workers cannot host {size} ranks")
+        with self._run_lock:
+            if not self.alive:
+                raise _PoolReplacedError
+            key = self.ship_program(program, size)
+            run_id = next(self._run_ids)
+            scalars = list(scalar_arguments)
+            for rank in range(size):
+                self._commands[rank].put(
+                    ("run", run_id, key, rank, size, function_name, backend,
+                     list(field_specs[rank]), scalars, timeout)
+                )
+            reports = self._collect(run_id, size, timeout)
+        return [RankStats(rank, exec_stats, comm_stats)
+                for rank, exec_stats, comm_stats in reports]
+
+    def run_spmd(
+        self,
+        fn: Callable,
+        size: int,
+        args: Sequence[Any],
+        timeout: float,
+    ) -> tuple[list[Any], list[CommStatistics]]:
+        """Run ``fn(comm, *args)`` on ``size`` ranks; return per-rank results."""
+        if size > self.size:
+            raise WorkerError(f"pool of {self.size} workers cannot host {size} ranks")
+        with self._run_lock:
+            if not self.alive:
+                raise _PoolReplacedError
+            run_id = next(self._run_ids)
+            payload = pickle.dumps((fn, tuple(args)))
+            for rank in range(size):
+                self._commands[rank].put(("spmd", run_id, rank, size, payload, timeout))
+            reports = self._collect(run_id, size, timeout)
+        ordered = sorted(reports, key=lambda report: report[0])
+        return [value for _, value, _ in ordered], [stats for _, _, stats in ordered]
+
+    def _collect(self, run_id: int, size: int, timeout: float) -> list[tuple]:
+        """Gather one report per rank, failing fast on worker errors."""
+        # Workers' own receives already honour ``timeout``; the parent allows
+        # a margin on top so the rank-side timeout error arrives first.
+        deadline = time.monotonic() + timeout + 10.0
+        reports: list[tuple] = []
+        seen: set[int] = set()
+        while len(reports) < size:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                self.shutdown()
+                raise WorkerError(
+                    f"ranks {sorted(set(range(size)) - seen)} did not report "
+                    f"within {timeout}s (deadlock?)"
+                )
+            try:
+                message = self._results.get(timeout=min(remaining, 0.5))
+            except queue_module.Empty:
+                dead = [
+                    rank for rank in range(size)
+                    if rank not in seen and not self._processes[rank].is_alive()
+                ]
+                if dead:
+                    self.shutdown()
+                    raise WorkerError(f"worker processes for ranks {dead} died")
+                continue
+            tag, reported_run, rank = message[0], message[1], message[2]
+            if reported_run != run_id:
+                continue  # stale report from a failed earlier run
+            if tag == "error":
+                self.shutdown()
+                raise WorkerError(f"rank {rank} failed:\n{message[3]}")
+            reports.append((rank, message[3], message[4]))
+            seen.add(rank)
+        return reports
+
+    # -- lifecycle -------------------------------------------------------------
+    def shutdown(self) -> None:
+        """Stop every worker and release the queues; the pool is dead after."""
+        if not self.alive:
+            return
+        self.alive = False
+        for commands in self._commands:
+            try:
+                commands.put(("stop",))
+            except Exception:  # pragma: no cover - queue already broken
+                pass
+        for process in self._processes:
+            process.join(timeout=1.0)
+        for process in self._processes:
+            if process.is_alive():
+                process.terminate()
+                process.join(timeout=1.0)
+        for q in [*self._commands, *self._inboxes, self._results]:
+            try:
+                q.cancel_join_thread()
+                q.close()
+            except Exception:  # pragma: no cover - queue already broken
+                pass
+
+
+_GLOBAL_POOL: Optional[WorkerPool] = None
+_GLOBAL_POOL_LOCK = threading.Lock()
+
+
+def get_worker_pool(size: int) -> WorkerPool:
+    """The shared persistent pool, grown (by replacement) when too small."""
+    global _GLOBAL_POOL
+    with _GLOBAL_POOL_LOCK:
+        pool = _GLOBAL_POOL
+        if pool is not None and pool.alive and pool.size >= size:
+            return pool
+        previous = pool.size if pool is not None else 0
+        if pool is not None:
+            # Replacing a too-small pool must wait for any in-flight run to
+            # finish, or the shutdown would terminate its busy workers.
+            with pool._run_lock:
+                pool.shutdown()
+        _GLOBAL_POOL = WorkerPool(max(size, previous))
+        return _GLOBAL_POOL
+
+
+def shutdown_worker_pool() -> None:
+    """Tear down the shared pool (tests, interpreter exit)."""
+    global _GLOBAL_POOL
+    with _GLOBAL_POOL_LOCK:
+        if _GLOBAL_POOL is not None:
+            _GLOBAL_POOL.shutdown()
+            _GLOBAL_POOL = None
+
+
+atexit.register(shutdown_worker_pool)
+
+
+# ---------------------------------------------------------------------------
+# high-level entry points
+# ---------------------------------------------------------------------------
+
+def run_program_processes(
+    program,
+    function_name: str,
+    backend: str,
+    local_fields: Sequence[Sequence[np.ndarray]],
+    scalar_arguments: Sequence[Any],
+    *,
+    timeout: float = 60.0,
+) -> tuple[list[ExecStatistics], CommStatistics]:
+    """Run one compiled SPMD program rank-per-process over shared memory.
+
+    ``local_fields[rank]`` are the pre-scattered per-rank buffers; they are
+    updated **in place** (the executor gathers from them afterwards exactly as
+    it does for the thread runtime).  Returns the per-rank execution
+    statistics in rank order plus the merged communication statistics.
+    """
+    size = len(local_fields)
+    shared = [
+        [SharedField.create(array) for array in rank_fields]
+        for rank_fields in local_fields
+    ]
+    try:
+        specs = [[field.spec for field in rank_fields] for rank_fields in shared]
+        while True:
+            pool = get_worker_pool(size)
+            try:
+                reports = pool.run_program(
+                    program, function_name, backend, specs, scalar_arguments, timeout
+                )
+                break
+            except _PoolReplacedError:
+                continue  # a concurrent caller grew the pool under us
+        for rank_fields, rank_shared in zip(local_fields, shared):
+            for array, field in zip(rank_fields, rank_shared):
+                array[...] = field.array
+    finally:
+        for rank_shared in shared:
+            for field in rank_shared:
+                field.release()
+    ordered = sort_rank_stats(reports)
+    return (
+        [report.exec_stats for report in ordered],
+        merge_comm_statistics([report.comm_stats for report in ordered]),
+    )
+
+
+def run_spmd_processes(
+    fn: Callable,
+    size: int,
+    args: Sequence[Any] = (),
+    *,
+    timeout: float = 30.0,
+) -> tuple[list[Any], CommStatistics]:
+    """Run a picklable ``fn(comm, *args)`` on ``size`` process ranks.
+
+    The process-world analogue of ``SimulatedMPI.run_spmd``; returns the
+    per-rank return values (rank order) and the merged communication
+    statistics.
+    """
+    if not processes_available():
+        raise WorkerError("process runtime is unavailable on this platform")
+    while True:
+        pool = get_worker_pool(size)
+        try:
+            values, per_rank = pool.run_spmd(fn, size, args, timeout)
+            break
+        except _PoolReplacedError:
+            continue  # a concurrent caller grew the pool under us
+    return values, merge_comm_statistics(per_rank)

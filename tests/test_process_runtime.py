@@ -1,0 +1,295 @@
+"""Tests for the OS-process SPMD runtime (repro.runtime).
+
+The contract under test: ``runtime="processes"`` is observationally identical
+to ``runtime="threads"`` — bit-identical fields, matching per-rank execution
+statistics and matching world-wide communication statistics — while actually
+running every rank in its own process against shared-memory buffers.
+"""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    ExecutionError,
+    compile_stencil_program,
+    dmp_target,
+    run_distributed,
+)
+from repro.interp import SimulatedMPI
+from repro.runtime import (
+    get_worker_pool,
+    merge_comm_statistics,
+    processes_available,
+    run_spmd_processes,
+    shutdown_worker_pool,
+)
+from repro.workloads import heat_diffusion
+
+needs_processes = pytest.mark.skipif(
+    not processes_available(), reason="process runtime unavailable on this platform"
+)
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _pool_teardown():
+    yield
+    shutdown_worker_pool()
+
+
+def _compile_heat(rank_grid, *, lower_to_library_calls=False, shape=(16, 16)):
+    workload = heat_diffusion(shape, space_order=2, dtype=np.float64)
+    module = workload.operator(backend="xdsl").stencil_module(dt=workload.dt)
+    target = dmp_target(rank_grid, lower_to_library_calls=lower_to_library_calls)
+    return compile_stencil_program(module, target)
+
+
+def _heat_fields(shape=(18, 18)):
+    u0 = np.zeros(shape)
+    u0[shape[0] // 2 - 1: shape[0] // 2 + 1, shape[1] // 2 - 1: shape[1] // 2 + 1] = 1.0
+    return u0, u0.copy()
+
+
+# ---------------------------------------------------------------------------
+# collectives parity (satellite: same results and CommStatistics counts)
+# ---------------------------------------------------------------------------
+
+def _collective_body(comm, base):
+    """Exercises every collective of the paper's subset plus barriers."""
+    data = np.full(4, float(comm.rank) + base, dtype=np.float64)
+    total = comm.allreduce(data, "sum")
+    comm.barrier()
+    biggest = comm.reduce(data, "max", root=0)
+    seed = np.zeros(3, dtype=np.float64)
+    if comm.rank == 0:
+        seed[:] = (1.0, 2.0, 3.0)
+    shared = comm.bcast(seed, root=0)
+    gathered = comm.gather(data, root=0)
+    comm.barrier()
+    return (
+        total,
+        None if biggest is None else np.array(biggest),
+        np.array(shared),
+        None if gathered is None else np.array(gathered),
+    )
+
+
+@needs_processes
+@pytest.mark.parametrize("size", [2, 4])
+def test_collectives_parity_threads_vs_processes(size):
+    world = SimulatedMPI(size)
+    thread_results = world.run_spmd(lambda comm: _collective_body(comm, 1.5))
+    process_results, process_stats = run_spmd_processes(
+        _collective_body, size, (1.5,), timeout=60.0
+    )
+
+    for rank, (threaded, processed) in enumerate(zip(thread_results, process_results)):
+        for part_threads, part_processes in zip(threaded, processed):
+            if part_threads is None:
+                assert part_processes is None, f"rank {rank} root-only mismatch"
+            else:
+                assert np.array_equal(part_threads, part_processes), f"rank {rank}"
+
+    assert process_stats == world.statistics
+    # Sanity on absolute counts: 2 barriers + (allreduce=2, reduce, bcast,
+    # gather = 5 collectives) per rank.
+    assert process_stats.barriers == 2 * size
+    assert process_stats.collectives == 5 * size
+    assert process_stats.messages_sent == world.statistics.messages_sent > 0
+
+
+def _ring_body(comm):
+    """Non-blocking ring exchange (must be module-level: workers unpickle it)."""
+    right = (comm.rank + 1) % comm.size
+    left = (comm.rank - 1) % comm.size
+    payload = np.arange(5, dtype=np.float64) + comm.rank
+    request = comm.isend(payload, right, tag=7)
+    buffer = np.empty(5, dtype=np.float64)
+    pending = comm.irecv(buffer, left, tag=7)
+    comm.wait(pending)
+    comm.waitall([request])
+    assert comm.test(pending)
+    return buffer
+
+
+@needs_processes
+def test_point_to_point_and_requests_parity():
+    size = 3
+    world = SimulatedMPI(size)
+    threaded = world.run_spmd(_ring_body)
+    processed, stats = run_spmd_processes(_ring_body, size, timeout=60.0)
+    for a, b in zip(threaded, processed):
+        assert np.array_equal(a, b)
+    assert stats == world.statistics
+
+
+# ---------------------------------------------------------------------------
+# end-to-end parity on the fig. 7/8 heat kernels
+# ---------------------------------------------------------------------------
+
+@needs_processes
+@pytest.mark.parametrize("lower", [False, True], ids=["dmp-swap", "mpi-calls"])
+@pytest.mark.parametrize("rank_grid", [(2, 2), (4, 1)], ids=["2x2", "4x1"])
+def test_heat_kernel_runtime_parity(rank_grid, lower):
+    program = _compile_heat(rank_grid, lower_to_library_calls=lower)
+    a0, a1 = _heat_fields()
+    threads_result = run_distributed(program, [a0, a1], [3], runtime="threads")
+    b0, b1 = _heat_fields()
+    processes_result = run_distributed(program, [b0, b1], [3], runtime="processes")
+
+    assert processes_result.runtime == "processes"
+    assert np.array_equal(a0, b0) and np.array_equal(a1, b1)
+    assert processes_result.statistics == threads_result.statistics
+    assert processes_result.comm_statistics == threads_result.comm_statistics
+    assert processes_result.messages_sent == threads_result.messages_sent > 0
+    assert processes_result.bytes_sent == threads_result.bytes_sent > 0
+
+
+@needs_processes
+def test_backend_parity_across_runtimes():
+    program = _compile_heat((2, 2))
+    reference = None
+    for backend in ("interpreter", "auto"):
+        for runtime in ("threads", "processes"):
+            u0, u1 = _heat_fields()
+            run_distributed(program, [u0, u1], [2], backend=backend, runtime=runtime)
+            if reference is None:
+                reference = (u0, u1)
+            else:
+                assert np.array_equal(reference[0], u0)
+                assert np.array_equal(reference[1], u1)
+
+
+# ---------------------------------------------------------------------------
+# worker pool behaviour
+# ---------------------------------------------------------------------------
+
+@needs_processes
+def test_pool_persists_and_ships_programs_once():
+    program = _compile_heat((2, 2))
+    u0, u1 = _heat_fields()
+    run_distributed(program, [u0, u1], [2], runtime="processes")
+    pool = get_worker_pool(4)
+    shipped = pool.programs_shipped
+    u0, u1 = _heat_fields()
+    run_distributed(program, [u0, u1], [2], runtime="processes")
+    assert get_worker_pool(4) is pool, "pool must persist across runs"
+    assert pool.programs_shipped == shipped, "program must be shipped only once"
+
+
+@needs_processes
+def test_worker_error_propagates_and_pool_recovers():
+    program = _compile_heat((2, 2))
+    u0, u1 = _heat_fields()
+    with pytest.raises(Exception) as excinfo:
+        # Wrong scalar arity: every rank's interpreter raises remotely.
+        run_distributed(program, [u0, u1], [2, 99], runtime="processes")
+    assert "rank" in str(excinfo.value)
+    # The pool was poisoned and replaced: the next run works.
+    u0, u1 = _heat_fields()
+    result = run_distributed(program, [u0, u1], [2], runtime="processes")
+    assert result.runtime == "processes"
+
+
+@needs_processes
+def test_concurrent_runs_serialize_on_the_pool():
+    """Two caller threads may use the shared pool at once; runs serialize."""
+    import threading
+
+    program = _compile_heat((2, 2))
+    outcomes = {}
+
+    def run(label):
+        u0, u1 = _heat_fields()
+        result = run_distributed(program, [u0, u1], [2], runtime="processes")
+        outcomes[label] = (u0, u1, result.comm_statistics)
+
+    callers = [threading.Thread(target=run, args=(i,)) for i in range(2)]
+    for caller in callers:
+        caller.start()
+    for caller in callers:
+        caller.join(timeout=120)
+    assert set(outcomes) == {0, 1}, "both concurrent runs must complete"
+    assert np.array_equal(outcomes[0][0], outcomes[1][0])
+    assert np.array_equal(outcomes[0][1], outcomes[1][1])
+    assert outcomes[0][2] == outcomes[1][2]
+
+
+def _slow_rank_body(comm):
+    """Module-level (workers unpickle it): holds the pool busy briefly."""
+    import time as time_module
+
+    time_module.sleep(0.3)
+    comm.barrier()
+    return comm.rank
+
+
+@needs_processes
+def test_pool_growth_waits_for_inflight_run():
+    """Growing the pool for more ranks must not kill a run in flight."""
+    import threading
+
+    shutdown_worker_pool()
+    get_worker_pool(2)
+    errors = []
+
+    def small_run():
+        try:
+            values, _ = run_spmd_processes(_slow_rank_body, 2, timeout=60.0)
+            assert values == [0, 1]
+        except Exception as err:  # noqa: BLE001 - assert in the main thread
+            errors.append(err)
+
+    caller = threading.Thread(target=small_run)
+    caller.start()
+    values, _ = run_spmd_processes(_slow_rank_body, 4, timeout=60.0)  # forces growth
+    caller.join(timeout=120)
+    assert not caller.is_alive()
+    assert not errors, f"in-flight run was disturbed by pool growth: {errors}"
+    assert values == [0, 1, 2, 3]
+
+
+def test_automatic_fallback_to_threads(monkeypatch):
+    import repro.runtime as runtime_module
+
+    monkeypatch.setattr(runtime_module, "processes_available", lambda: False)
+    program = _compile_heat((2, 2))
+    u0, u1 = _heat_fields()
+    result = run_distributed(program, [u0, u1], [2], runtime="processes")
+    assert result.runtime == "threads"
+    assert result.messages_sent > 0
+
+
+def test_unknown_runtime_rejected():
+    program = _compile_heat((2, 2))
+    u0, u1 = _heat_fields()
+    with pytest.raises(ExecutionError, match="unknown execution runtime"):
+        run_distributed(program, [u0, u1], [2], runtime="mpi")
+
+
+# ---------------------------------------------------------------------------
+# serialization invariants
+# ---------------------------------------------------------------------------
+
+def test_compiled_program_pickle_drops_kernel_cache():
+    program = _compile_heat((2, 2))
+    kernel = program.compiled_kernel("kernel")
+    assert program._kernel_cache, "cache should be warm"
+    clone = pickle.loads(pickle.dumps(program))
+    assert clone._kernel_cache == {}
+    recompiled = clone.compiled_kernel("kernel")
+    assert recompiled.nest_count == kernel.nest_count
+
+
+def test_merge_comm_statistics_orders_deterministically():
+    from repro.interp import CommStatistics
+
+    parts = [
+        CommStatistics(messages_sent=1, bytes_sent=10, collectives=2, barriers=1),
+        CommStatistics(messages_sent=3, bytes_sent=30, collectives=0, barriers=1),
+    ]
+    merged = merge_comm_statistics(parts)
+    assert merged == CommStatistics(
+        messages_sent=4, bytes_sent=40, collectives=2, barriers=2
+    )
