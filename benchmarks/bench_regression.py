@@ -1,0 +1,176 @@
+#!/usr/bin/env python
+"""The bench-regression CI gate.
+
+Runs the execution-backend speedup benchmarks
+(``benchmarks/test_backend_speedup.py``) and the fig. 8 strong-scaling smoke,
+collects every measured row into a ``BENCH_pr.json`` artifact
+(kernel, shape, backend, wall time, speedup), and **fails** (exit code 1)
+when any measured speedup drops below the floors committed in
+``benchmarks/baseline.json``.
+
+Usage (CI runs exactly this, offline — every dependency is installed by the
+job's install step, nothing is fetched here)::
+
+    PYTHONPATH=src python benchmarks/bench_regression.py --output BENCH_pr.json
+
+``--floor-scale`` multiplies every baseline floor; it exists to *verify the
+gate itself*: ``--floor-scale 1e6`` must make the run fail, proving a
+synthetic regression is caught.  The strong-scaling smoke needs >= 4 usable
+cores and an available process runtime; where it skips, its row is recorded
+as skipped and its (optional) floor is not enforced.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+BENCHMARKS = os.path.join(REPO_ROOT, "benchmarks")
+SMOKE_TEST = (
+    "benchmarks/test_fig08_strong_scaling.py::"
+    "test_process_runtime_strong_scaling_smoke"
+)
+
+
+def _environment() -> dict:
+    env = dict(os.environ)
+    src = os.path.join(REPO_ROOT, "src")
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = src + (os.pathsep + existing if existing else "")
+    return env
+
+
+def run_speedup_benchmarks() -> tuple[list[dict], int]:
+    """Run the backend-speedup file; return its rows and the pytest exit code."""
+    with tempfile.NamedTemporaryFile(suffix=".json", delete=False) as handle:
+        report_path = handle.name
+    try:
+        proc = subprocess.run(
+            [
+                sys.executable, "-m", "pytest",
+                "benchmarks/test_backend_speedup.py", "-q",
+                f"--benchmark-json={report_path}",
+            ],
+            cwd=REPO_ROOT,
+            env=_environment(),
+            capture_output=True,
+            text=True,
+        )
+        sys.stdout.write(proc.stdout[-4000:])
+        if proc.returncode != 0:
+            sys.stderr.write(proc.stderr[-4000:])
+        rows: list[dict] = []
+        if os.path.exists(report_path) and os.path.getsize(report_path):
+            with open(report_path) as report:
+                data = json.load(report)
+            for benchmark in data.get("benchmarks", []):
+                extra = benchmark.get("extra_info", {})
+                rows.extend(json.loads(extra.get("rows", "[]")))
+        return rows, proc.returncode
+    finally:
+        if os.path.exists(report_path):
+            os.unlink(report_path)
+
+
+def run_strong_scaling_smoke() -> tuple[dict | None, int]:
+    """Run the fig. 8 smoke; return its row (None when skipped) and exit code."""
+    with tempfile.NamedTemporaryFile(suffix=".json", delete=False) as handle:
+        smoke_path = handle.name
+    os.unlink(smoke_path)  # only exists if the smoke actually measured
+    env = _environment()
+    env["BENCH_SMOKE_JSON"] = smoke_path
+    try:
+        proc = subprocess.run(
+            [sys.executable, "-m", "pytest", SMOKE_TEST, "-q", "-s"],
+            cwd=REPO_ROOT,
+            env=env,
+            capture_output=True,
+            text=True,
+        )
+        sys.stdout.write(proc.stdout[-4000:])
+        if proc.returncode != 0:
+            sys.stderr.write(proc.stderr[-4000:])
+        row = None
+        if os.path.exists(smoke_path):
+            with open(smoke_path) as handle:
+                row = json.load(handle)
+        return row, proc.returncode
+    finally:
+        if os.path.exists(smoke_path):
+            os.unlink(smoke_path)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--output", default="BENCH_pr.json",
+                        help="where to write the benchmark artifact")
+    parser.add_argument("--baseline",
+                        default=os.path.join(BENCHMARKS, "baseline.json"),
+                        help="committed speedup floors")
+    parser.add_argument("--floor-scale", type=float, default=1.0,
+                        help="multiply every floor (gate self-test: a large "
+                             "value must make this script fail)")
+    args = parser.parse_args()
+
+    with open(args.baseline) as handle:
+        baseline = json.load(handle)
+    floors = {k: v * args.floor_scale for k, v in baseline["floors"].items()}
+    optional = set(baseline.get("optional", []))
+
+    rows, speedup_rc = run_speedup_benchmarks()
+    smoke_row, smoke_rc = run_strong_scaling_smoke()
+    smoke_skipped = smoke_row is None and smoke_rc == 0
+    if smoke_row is not None:
+        rows.append(smoke_row)
+    elif smoke_skipped:
+        rows.append({"kernel": "process-strong-scaling", "skipped": True})
+
+    artifact = {
+        "baseline": args.baseline,
+        "floor_scale": args.floor_scale,
+        "rows": rows,
+    }
+    with open(args.output, "w") as handle:
+        json.dump(artifact, handle, indent=2)
+    print(f"\nwrote {len(rows)} rows to {args.output}")
+
+    failures: list[str] = []
+    if speedup_rc != 0:
+        failures.append("backend-speedup benchmarks failed (see output above)")
+    if smoke_rc != 0 and not smoke_skipped:
+        failures.append("strong-scaling smoke failed (see output above)")
+
+    measured = {row["kernel"]: row for row in rows if "speedup" in row}
+    for kernel, floor in sorted(floors.items()):
+        row = measured.get(kernel)
+        if row is None:
+            if kernel in optional:
+                print(f"  {kernel:<24} skipped (optional)")
+                continue
+            failures.append(f"{kernel}: no measurement produced")
+            continue
+        speedup = row["speedup"]
+        verdict = "ok" if speedup >= floor else "REGRESSION"
+        print(f"  {kernel:<24} {speedup:8.1f}x  (floor {floor:g}x)  {verdict}")
+        if speedup < floor:
+            failures.append(
+                f"{kernel}: speedup {speedup:.1f}x below the baseline "
+                f"floor {floor:g}x"
+            )
+
+    if failures:
+        print("\nbench-regression gate FAILED:")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print("\nbench-regression gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

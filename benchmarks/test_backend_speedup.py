@@ -1,10 +1,20 @@
-"""Vectorized backend vs tree-walking interpreter on the Fig. 7 CPU kernels.
+"""Vectorized backend vs tree-walking interpreter on the paper's CPU kernels.
 
 The whole point of the shared stack is that the *same* lowered program runs
-fast; this benchmark pins the execution-backend speedup contract: on the heat
-kernels of fig. 7a (2D, space orders 2/4/8) the vectorized NumPy backend must
-be at least 10x faster than the per-cell tree walker while producing
-bit-identical fields.
+fast; this benchmark pins the execution-backend speedup contract on every
+nest shape the vectorizer covers:
+
+* the fig. 7a heat kernels (2D, space orders 2/4/8), untiled *and*
+  cache-tiled (the ``min``-clamped ``convert-stencil-to-scf{tile}`` output);
+* an ``scf.reduce`` sum-of-squares nest (NumPy reduction with the tree
+  walker's deterministic fold);
+* the ``merge()``-masked PsyClone tracer kernel (``cmpf``/``select`` chains
+  compiled to ``np.where`` trees).
+
+Each must be at least 10x faster than the per-cell tree walker while
+producing bit-identical outputs.  ``benchmarks/bench_regression.py`` replays
+this file in CI and fails the build when any speedup drops below the floors
+committed in ``benchmarks/baseline.json``.
 """
 
 import time
@@ -13,8 +23,9 @@ import numpy as np
 import pytest
 
 from bench_helpers import attach_rows
-from repro.core import run_local
-from repro.workloads import heat_diffusion
+from repro.core import compile_stencil_program, cpu_target, run_local
+from repro.dialects import arith
+from repro.workloads import heat_diffusion, masked_tracer_advection
 
 GRID = (64, 64)
 TIMESTEPS = 3
@@ -63,7 +74,8 @@ def test_vectorized_backend_speedup(benchmark, space_order):
         [
             {
                 "kernel": f"heat2d-so{space_order}",
-                "grid": list(GRID),
+                "shape": list(GRID),
+                "backend": "vectorized",
                 "timesteps": TIMESTEPS,
                 "interpreter_s": interp_time,
                 "vectorized_s": vector_time,
@@ -74,4 +86,110 @@ def test_vectorized_backend_speedup(benchmark, space_order):
     assert speedup >= MIN_SPEEDUP, (
         f"vectorized backend is only {speedup:.1f}x faster than the "
         f"interpreter on heat2d-so{space_order} (need >= {MIN_SPEEDUP}x)"
+    )
+
+
+def _assert_and_attach(benchmark, name, kernel, shape, program, make_args,
+                       function, steps=None):
+    """Time both backends on one program, assert >= 10x, attach the row.
+
+    ``steps`` (when given) is appended to the arguments produced by
+    ``make_args``; kernels without a timestep argument pass None.
+    """
+    program.compiled_kernel(function)  # warm the nest-compilation cache
+
+    def run(backend, repeats=1):
+        best = float("inf")
+        outputs = None
+        for _ in range(repeats):
+            arrays = make_args()
+            call_args = arrays if steps is None else [*arrays, steps]
+            start = time.perf_counter()
+            run_local(program, call_args, function=function, backend=backend)
+            best = min(best, time.perf_counter() - start)
+            outputs = arrays
+        return best, outputs
+
+    interp_time, interp_fields = run("interpreter")
+    vector_time, vector_fields = benchmark(lambda: run("vectorized", repeats=3))
+    for a, b in zip(interp_fields, vector_fields):
+        assert np.array_equal(a, b), "backends diverged"
+    speedup = interp_time / vector_time
+    attach_rows(
+        benchmark,
+        name,
+        [
+            {
+                "kernel": kernel,
+                "shape": list(shape),
+                "backend": "vectorized",
+                "timesteps": 1 if steps is None else steps,
+                "interpreter_s": interp_time,
+                "vectorized_s": vector_time,
+                "speedup": speedup,
+            }
+        ],
+    )
+    assert speedup >= MIN_SPEEDUP, (
+        f"vectorized backend is only {speedup:.1f}x faster than the "
+        f"interpreter on {kernel} (need >= {MIN_SPEEDUP}x)"
+    )
+
+
+@pytest.mark.benchmark(group="backend-speedup")
+def test_tiled_heat_kernel_speedup(benchmark):
+    """The min-clamped tiled stencil_to_scf output must vectorize, not tree-walk."""
+    workload = heat_diffusion(GRID, space_order=4, dtype=np.float64)
+    workload.initialise(seed=4)
+    operator = workload.operator(backend="xdsl")
+    module = operator.stencil_module(dt=workload.dt)
+    program = compile_stencil_program(module, cpu_target(tile_sizes=(16, 16)))
+    kernel = program.compiled_kernel("kernel")
+    assert kernel.nest_count >= 1, kernel.fallback_reasons
+    fields = operator._field_arguments()
+    _assert_and_attach(
+        benchmark, "backend-speedup", "heat2d-so4-tiled16", GRID, program,
+        lambda: [field.copy() for field in fields], "kernel", TIMESTEPS,
+    )
+
+
+@pytest.mark.benchmark(group="backend-speedup")
+def test_reduce_nest_speedup(benchmark):
+    """scf.reduce nests must compile to NumPy reductions, not per-cell folds."""
+    from repro.core.pipeline import CompiledProgram
+    from repro.machine.kernel_model import characterize_module
+    from tests.conftest import build_reduce_module
+
+    n = 96
+    module = build_reduce_module(n, arith.AddfOp, 0.0)
+    program = CompiledProgram(
+        module=module,
+        target=cpu_target(),
+        characteristics=characterize_module(module),
+        stencil_regions=0,
+    )
+    rng = np.random.default_rng(11)
+    data = rng.standard_normal((n, n))
+    _assert_and_attach(
+        benchmark, "backend-speedup", f"reduce-sum-{n}x{n}", (n, n), program,
+        lambda: [data.copy(), np.zeros(1)], "kernel",
+    )
+
+
+@pytest.mark.benchmark(group="backend-speedup")
+def test_masked_tracer_kernel_speedup(benchmark):
+    """merge()-masked PsyClone tracer kernels must vectorize end-to-end."""
+    shape = (16, 16, 8)
+    workload = masked_tracer_advection(shape, iterations=2, computations=6)
+    module = workload.build_module(dtype=np.float64)
+    program = compile_stencil_program(module, cpu_target())
+    function = workload.schedule.name
+    kernel = program.compiled_kernel(function)
+    assert kernel.nest_count == 6, kernel.fallback_reasons
+    arrays = workload.arrays(halo=1, dtype=np.float64, seed=29)
+    names = workload.schedule.array_names()
+    _assert_and_attach(
+        benchmark, "backend-speedup", "traadv-masked", shape, program,
+        lambda: [arrays[name].copy() for name in names], function,
+        workload.iterations,
     )

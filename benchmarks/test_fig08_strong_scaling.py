@@ -99,6 +99,23 @@ def test_process_runtime_strong_scaling_smoke():
         speedup = t_threads / t_processes
         print(f"\nstrong-scaling smoke: threads {t_threads:.2f}s, "
               f"processes {t_processes:.2f}s, speedup {speedup:.2f}x")
+        smoke_json = os.environ.get("BENCH_SMOKE_JSON")
+        if smoke_json:
+            # bench_regression.py consumes this row for BENCH_pr.json.
+            import json
+
+            with open(smoke_json, "w") as handle:
+                json.dump(
+                    {
+                        "kernel": "process-strong-scaling",
+                        "shape": [128, 128],
+                        "backend": "processes",
+                        "threads_s": t_threads,
+                        "processes_s": t_processes,
+                        "speedup": speedup,
+                    },
+                    handle,
+                )
         assert speedup >= 1.5, (
             f"expected >= 1.5x wall-clock speedup at 4 process ranks, "
             f"got {speedup:.2f}x"

@@ -34,7 +34,9 @@ class ExecutionError(Exception):
 #: :func:`run_distributed`:
 #:
 #: * ``"auto"`` (default) — vectorize every loop nest that can be proven
-#:   vectorizable, tree-walk the rest (always safe, usually fastest);
+#:   vectorizable (including the min-clamped *tiled* stencil_to_scf output,
+#:   ``scf.reduce`` reductions and ``arith.select`` mask chains), tree-walk
+#:   the rest (always safe, usually fastest);
 #: * ``"vectorized"`` — like auto, but raise when *nothing* in the function
 #:   could be vectorized (benchmarks use this to avoid silently measuring the
 #:   tree walker);
@@ -66,9 +68,11 @@ def _kernel_for_backend(
         return None
     kernel = program.compiled_kernel(function_name)
     if backend == "vectorized" and kernel.nest_count == 0:
+        reasons = kernel.fallback_reasons
+        detail = "; ".join(reasons) if reasons else "the function has no loop nests"
         raise ExecutionError(
             f"backend='vectorized' requested but no loop nest of "
-            f"{function_name!r} could be vectorized"
+            f"{function_name!r} could be vectorized ({detail})"
         )
     return kernel
 

@@ -331,6 +331,25 @@ class TruncIOp(_CastOp):
     name = "arith.trunci"
 
 
+#: Binary ops usable as ``scf.reduce`` combiners, with the metadata execution
+#: backends need: the NumPy ufunc implementing the combine, and whether the
+#: combine order is observable in the result (floating-point ``+``/``*`` are
+#: not associative bit-wise, so a vectorized reduction must replay the tree
+#: walker's sequential left-fold; selection ops and integer ops are exact in
+#: any order).  Keyed by operation name so lowered modules can be inspected
+#: without isinstance checks.
+REDUCTION_OP_METADATA: dict[str, tuple[str, bool]] = {
+    AddfOp.name: ("add", True),
+    MulfOp.name: ("multiply", True),
+    AddiOp.name: ("add", False),
+    MuliOp.name: ("multiply", False),
+    MinimumfOp.name: ("minimum", False),
+    MaximumfOp.name: ("maximum", False),
+    MinSIOp.name: ("minimum", False),
+    MaxSIOp.name: ("maximum", False),
+}
+
+
 Arith = Dialect(
     "arith",
     [

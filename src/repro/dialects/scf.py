@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Optional, Sequence, Union
 
 from ..ir.attributes import TypeAttribute
 from ..ir.context import Dialect
@@ -131,8 +131,11 @@ class IfOp(Operation):
 class ParallelOp(Operation):
     """A multi-dimensional parallel loop nest (the unit of SMP/GPU mapping).
 
-    Operand layout: ``lower_bounds..., upper_bounds..., steps...`` with the
-    rank stored in the ``rank`` attribute implied by the body block arguments.
+    Operand layout: ``lower_bounds..., upper_bounds..., steps..., inits...``
+    with the rank implied by the body block arguments.  ``init_values`` are
+    reduction seeds (MLIR-style): the body must then be terminated by an
+    ``scf.reduce`` whose i-th combiner folds one per-iteration value into the
+    i-th accumulator, and the loop produces one result per init value.
     """
 
     name = "scf.parallel"
@@ -143,6 +146,7 @@ class ParallelOp(Operation):
         upper_bounds: Sequence[SSAValue],
         steps: Sequence[SSAValue],
         body: Optional[Region] = None,
+        init_values: Sequence[SSAValue] = (),
     ):
         rank = len(lower_bounds)
         if len(upper_bounds) != rank or len(steps) != rank:
@@ -150,7 +154,8 @@ class ParallelOp(Operation):
         if body is None:
             body = Region(Block(arg_types=[index] * rank))
         super().__init__(
-            operands=[*lower_bounds, *upper_bounds, *steps],
+            operands=[*lower_bounds, *upper_bounds, *steps, *init_values],
+            result_types=[value.type for value in init_values],
             regions=[body],
         )
 
@@ -171,6 +176,10 @@ class ParallelOp(Operation):
         return self.operands[2 * self.rank : 3 * self.rank]
 
     @property
+    def init_values(self) -> tuple[SSAValue, ...]:
+        return self.operands[3 * self.rank :]
+
+    @property
     def body(self) -> Region:
         return self.regions[0]
 
@@ -180,16 +189,32 @@ class ParallelOp(Operation):
 
     def verify_(self) -> None:
         rank = self.rank
-        if len(self.operands) != 3 * rank:
+        if len(self.operands) != 3 * rank + len(self.results):
             raise ValueError(
-                "scf.parallel expects 3 * rank operands (lower, upper, step per dim)"
+                "scf.parallel expects 3 * rank operands (lower, upper, step per "
+                "dim) plus one init value per result"
             )
-        for operand in self.operands:
+        for operand in self.operands[: 3 * rank]:
             if not isinstance(operand.type, IndexType):
                 raise ValueError("scf.parallel bounds and steps must have index type")
         block = self.body.block
-        if block.ops and not isinstance(block.last_op, YieldOp):
-            raise ValueError("scf.parallel body must be terminated by scf.yield")
+        if block.ops and not isinstance(block.last_op, (YieldOp, ReduceOp)):
+            raise ValueError(
+                "scf.parallel body must be terminated by scf.yield or scf.reduce"
+            )
+        terminator = block.last_op
+        if isinstance(terminator, ReduceOp):
+            if len(terminator.operands) != len(self.results):
+                raise ValueError(
+                    "scf.reduce must carry exactly one value per scf.parallel "
+                    f"result (got {len(terminator.operands)} values for "
+                    f"{len(self.results)} results)"
+                )
+        elif self.results:
+            raise ValueError(
+                "scf.parallel with init values must be terminated by an "
+                "scf.reduce carrying one value per result"
+            )
 
 
 class WhileOp(Operation):
@@ -230,15 +255,63 @@ class ConditionOp(Operation):
 
 
 class ReduceOp(Operation):
-    """A reduction inside an scf.parallel body (minimal form)."""
+    """The reduction terminator of an ``scf.parallel`` body (MLIR-style).
+
+    Carries one per-iteration value per enclosing init value, plus one
+    *combiner* region per value: a block taking ``(accumulator, value)`` and
+    yielding the combined result.  The enclosing ``scf.parallel`` folds every
+    iteration's values into its accumulators in iteration order and returns
+    the final accumulators as its results.
+    """
 
     name = "scf.reduce"
     traits = frozenset([IsTerminator()])
 
-    def __init__(self, operand: Optional[SSAValue] = None, body: Optional[Region] = None):
-        operands = [operand] if operand is not None else []
-        regions = [body] if body is not None else []
+    def __init__(
+        self,
+        operand: Union[SSAValue, Sequence[SSAValue], None] = None,
+        body: Union[Region, Sequence[Region], None] = None,
+    ):
+        if operand is None:
+            operands: list[SSAValue] = []
+        elif isinstance(operand, SSAValue):
+            operands = [operand]
+        else:
+            operands = list(operand)
+        if body is None:
+            regions: list[Region] = []
+        elif isinstance(body, Region):
+            regions = [body]
+        else:
+            regions = list(body)
         super().__init__(operands=operands, regions=regions)
+
+    @property
+    def combiners(self) -> tuple[Region, ...]:
+        return tuple(self.regions)
+
+    @staticmethod
+    def combining(value: SSAValue, op_class) -> "ReduceOp":
+        """A reduce whose combiner applies one binary arith op to (acc, value)."""
+        block = Block(arg_types=[value.type, value.type])
+        combined = op_class(block.args[0], block.args[1])
+        block.add_op(combined)
+        block.add_op(YieldOp([combined.results[0]]))
+        return ReduceOp(value, Region(block))
+
+    def verify_(self) -> None:
+        if len(self.regions) != len(self.operands):
+            raise ValueError("scf.reduce needs one combiner region per value")
+        for operand, region in zip(self.operands, self.regions):
+            block = region.block
+            if len(block.args) != 2:
+                raise ValueError(
+                    "scf.reduce combiners take (accumulator, value) arguments"
+                )
+            if not isinstance(block.last_op, YieldOp) or len(block.last_op.operands) != 1:
+                raise ValueError(
+                    "scf.reduce combiners must yield exactly the combined value"
+                )
 
 
 Scf = Dialect(

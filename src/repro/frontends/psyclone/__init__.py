@@ -11,9 +11,11 @@ from .psyir import (
     ArrayReference,
     Assignment,
     BinaryOperation,
+    Comparison,
     IndexExpression,
     Literal,
     Loop,
+    Merge,
     Reference,
     Schedule,
     UnaryOperation,
@@ -24,6 +26,7 @@ __all__ = [
     "parse_fortran", "FortranParseError",
     "Schedule", "Loop", "Assignment", "ArrayReference", "IndexExpression",
     "BinaryOperation", "UnaryOperation", "Literal", "Reference",
+    "Comparison", "Merge",
     "reference_execute",
     "extract_stencils", "ExtractedStencil", "StencilExtractionError",
     "PsycloneXDSLBackend",

@@ -21,12 +21,19 @@ from .psyir import (
     ArrayReference,
     Assignment,
     BinaryOperation,
+    Comparison,
     Literal,
     Loop,
+    Merge,
     Reference,
     Schedule,
     UnaryOperation,
 )
+
+#: Fortran relational operators -> ordered arith.cmpf predicates.
+_CMPF_PREDICATES = {
+    ">": "ogt", "<": "olt", ">=": "oge", "<=": "ole", "==": "oeq", "/=": "one",
+}
 
 
 class StencilExtractionError(Exception):
@@ -49,11 +56,15 @@ class ExtractedStencil:
         def visit(node) -> None:
             if isinstance(node, ArrayReference):
                 found.append(node)
-            elif isinstance(node, BinaryOperation):
+            elif isinstance(node, (BinaryOperation, Comparison)):
                 visit(node.lhs)
                 visit(node.rhs)
             elif isinstance(node, UnaryOperation):
                 visit(node.operand)
+            elif isinstance(node, Merge):
+                visit(node.true_value)
+                visit(node.false_value)
+                visit(node.condition)
 
         visit(self.assignment.rhs)
         return found
@@ -92,11 +103,15 @@ def extract_stencils(schedule: Schedule) -> list[ExtractedStencil]:
             def visit(expr) -> None:
                 if isinstance(expr, ArrayReference) and expr.name not in inputs:
                     inputs.append(expr.name)
-                elif isinstance(expr, BinaryOperation):
+                elif isinstance(expr, (BinaryOperation, Comparison)):
                     visit(expr.lhs)
                     visit(expr.rhs)
                 elif isinstance(expr, UnaryOperation):
                     visit(expr.operand)
+                elif isinstance(expr, Merge):
+                    visit(expr.true_value)
+                    visit(expr.false_value)
+                    visit(expr.condition)
 
             visit(assignment.rhs)
             stencils.append(
@@ -201,6 +216,20 @@ class PsycloneXDSLBackend:
                         "*": arith.MulfOp, "/": arith.DivfOp,
                     }[node.operator]
                     return apply_builder.insert(op_cls(lhs, rhs)).result
+                if isinstance(node, Comparison):
+                    lhs = emit(node.lhs)
+                    rhs = emit(node.rhs)
+                    predicate = _CMPF_PREDICATES[node.operator]
+                    return apply_builder.insert(
+                        arith.CmpfOp(predicate, lhs, rhs)
+                    ).result
+                if isinstance(node, Merge):
+                    condition = emit(node.condition)
+                    true_value = emit(node.true_value)
+                    false_value = emit(node.false_value)
+                    return apply_builder.insert(
+                        arith.SelectOp(condition, true_value, false_value)
+                    ).result
                 raise StencilExtractionError(f"cannot lower PSy-IR node {node!r}")
 
             result = emit(extracted.assignment.rhs)

@@ -17,6 +17,9 @@ This parser supports exactly that shape: a subroutine with an argument list,
 (nested) ``do`` loops, assignments whose left-hand side is an array element,
 and right-hand sides made of array references with ``index +/- constant``
 subscripts, scalar references, numeric literals, parentheses and ``+ - * /``.
+Masked computations are supported through the ``merge(tsource, fsource,
+mask)`` intrinsic, whose mask argument may use the relational operators
+``> < >= <= == /=`` — the shape of the NEMO tracer kernels' land/sea masking.
 """
 
 from __future__ import annotations
@@ -28,9 +31,11 @@ from .psyir import (
     ArrayReference,
     Assignment,
     BinaryOperation,
+    Comparison,
     IndexExpression,
     Literal,
     Loop,
+    Merge,
     Reference,
     Schedule,
     UnaryOperation,
@@ -120,8 +125,11 @@ def _parse_assignment(line: str) -> Assignment:
 _TOKEN_RE = re.compile(
     r"\s*(?:(?P<number>\d+\.\d*(?:[eE][-+]?\d+)?|\.\d+|\d+(?:[eE][-+]?\d+)?)"
     r"|(?P<name>[A-Za-z_]\w*)"
-    r"|(?P<op>\*\*|[-+*/(),]))"
+    r"|(?P<op>\*\*|==|/=|<=|>=|[-+*/(),<>]))"
 )
+
+#: Relational operators accepted inside merge() masks, in PSy-IR spelling.
+_COMPARISON_OPS = (">", "<", ">=", "<=", "==", "/=")
 
 
 class _ExpressionParser:
@@ -169,6 +177,14 @@ class _ExpressionParser:
             raise FortranParseError(f"trailing tokens in expression {self.text!r}")
         return expr
 
+    def _parse_comparison(self):
+        node = self._parse_additive()
+        if self._peek() in tuple(("op", op) for op in _COMPARISON_OPS):
+            operator = self._next()[1]
+            rhs = self._parse_additive()
+            return Comparison(operator, node, rhs)
+        return node
+
     def _parse_additive(self):
         node = self._parse_multiplicative()
         while self._peek() in (("op", "+"), ("op", "-")):
@@ -204,6 +220,15 @@ class _ExpressionParser:
             self._expect_op(")")
             return inner
         if kind == "name":
+            if text.lower() == "merge" and self._peek() == ("op", "("):
+                self._next()
+                true_value = self._parse_comparison()
+                self._expect_op(",")
+                false_value = self._parse_comparison()
+                self._expect_op(",")
+                condition = self._parse_comparison()
+                self._expect_op(")")
+                return Merge(true_value, false_value, condition)
             if self._peek() == ("op", "("):
                 self._next()
                 indices = [self._parse_index()]

@@ -68,6 +68,28 @@ class UnaryOperation(PSyIRNode):
 
 
 @dataclass
+class Comparison(PSyIRNode):
+    """A Fortran relational operation producing a mask (``a > b``, ...)."""
+
+    operator: str  # one of > < >= <= == /=
+    lhs: PSyIRNode
+    rhs: PSyIRNode
+
+
+@dataclass
+class Merge(PSyIRNode):
+    """The Fortran ``merge(tsource, fsource, mask)`` intrinsic.
+
+    Evaluates to ``tsource`` where ``mask`` holds and ``fsource`` elsewhere —
+    the way NEMO-style tracer kernels express land/sea and upwind masking.
+    """
+
+    true_value: PSyIRNode
+    false_value: PSyIRNode
+    condition: PSyIRNode
+
+
+@dataclass
 class Assignment(PSyIRNode):
     """``lhs = rhs`` where lhs is an array element."""
 
@@ -105,11 +127,15 @@ class Schedule(PSyIRNode):
             elif isinstance(node, Assignment):
                 visit(node.lhs)
                 visit(node.rhs)
-            elif isinstance(node, BinaryOperation):
+            elif isinstance(node, (BinaryOperation, Comparison)):
                 visit(node.lhs)
                 visit(node.rhs)
             elif isinstance(node, UnaryOperation):
                 visit(node.operand)
+            elif isinstance(node, Merge):
+                visit(node.true_value)
+                visit(node.false_value)
+                visit(node.condition)
             elif isinstance(node, ArrayReference):
                 for index in node.indices:
                     visit(index)
@@ -170,6 +196,20 @@ def reference_execute(
             return array[window]
         if isinstance(node, UnaryOperation):
             return -evaluate(node.operand)
+        if isinstance(node, Comparison):
+            lhs = evaluate(node.lhs)
+            rhs = evaluate(node.rhs)
+            comparators = {
+                ">": np.greater, "<": np.less, ">=": np.greater_equal,
+                "<=": np.less_equal, "==": np.equal, "/=": np.not_equal,
+            }
+            return comparators[node.operator](lhs, rhs)
+        if isinstance(node, Merge):
+            return np.where(
+                evaluate(node.condition),
+                evaluate(node.true_value),
+                evaluate(node.false_value),
+            )
         if isinstance(node, BinaryOperation):
             lhs = evaluate(node.lhs)
             rhs = evaluate(node.rhs)

@@ -29,12 +29,20 @@ The two engines are combined *per loop nest*, never per program:
    :class:`~repro.core.CompiledProgram` keyed by function name).
 2. When the tree walker reaches a loop nest it first consults that kernel.
    Nests the compiler could not *prove* vectorizable (MPI, ``scf.while``,
-   ``scf.if``, tiled nests with clamped bounds, non-affine indices) were
-   never compiled and are tree-walked.
+   ``scf.if``, non-affine indices) were never compiled and are tree-walked;
+   every rejection carries an explicit reason string
+   (:class:`~repro.interp.vectorize.VectorizeFallback`, via
+   ``CompiledKernel.fallback_for``).  Tiled nests (the ``min``-clamped inner
+   bounds of ``convert-stencil-to-scf{tile}``), ``scf.reduce`` reductions and
+   ``arith.select`` mask chains *are* compiled: tile loop pairs collapse back
+   into whole-extent dimensions, reductions replay the tree walker's
+   deterministic left-fold with ``ufunc.accumulate``, and select chains
+   become ``np.where`` trees.
 3. A compiled nest can still decline at run time — aliased in/out buffers
    with shifted offsets, indices that python would negatively wrap, or
-   non-positive steps make it return ``False`` *before touching any buffer*,
-   and the tree walker re-runs that nest invocation.
+   non-positive steps make it return ``False`` *before touching any buffer*
+   (recording why in ``CompiledNest.last_fallback``), and the tree walker
+   re-runs that nest invocation.
 
 Both engines produce bit-identical field contents (loads widen to float64
 exactly like ``ndarray.item()``, expressions apply the same operation tree)
@@ -72,15 +80,17 @@ from .vectorize import (
     CompiledKernel,
     CompiledNest,
     VectorizationError,
+    VectorizeFallback,
     compile_kernel,
     compile_loop_nest,
+    compile_loop_nest_or_fallback,
 )
 
 __all__ = [
     "Interpreter", "InterpreterError", "ExecStatistics", "run_function",
     "RequestArray", "RequestRef",
-    "CompiledKernel", "CompiledNest", "VectorizationError",
-    "compile_kernel", "compile_loop_nest",
+    "CompiledKernel", "CompiledNest", "VectorizationError", "VectorizeFallback",
+    "compile_kernel", "compile_loop_nest", "compile_loop_nest_or_fallback",
     "SimulatedMPI", "RankCommunicator", "CommunicatorBase", "SimRequest",
     "MPIRuntimeError", "CommStatistics",
     "MemRefValue", "PointerValue", "RequestHandle", "DataTypeValue",

@@ -538,17 +538,38 @@ def _run_parallel(interp: Interpreter, op: Operation, env: dict) -> None:
     block = op.body.block
     local_env = dict(env)  # scoped: body bindings must not leak to the caller
 
+    # Reduction state: one accumulator per init value, folded in iteration
+    # order (the deterministic left-fold the vectorized backend replicates).
+    accumulators = [interp.get(env, value) for value in op.init_values]
+    reduce_op = block.last_op if isinstance(block.last_op, scf.ReduceOp) else None
+    if reduce_op is not None and len(reduce_op.operands) != len(accumulators):
+        raise InterpreterError(
+            f"scf.reduce carries {len(reduce_op.operands)} values but the "
+            f"enclosing scf.parallel has {len(accumulators)} init values"
+        )
+
     def loop(dim: int, indices: list[int]) -> None:
         if dim == rank:
             for arg, value in zip(block.args, indices):
                 local_env[arg] = value
             interp.run_block(block, local_env)
             interp.stats.cells_updated += 1
+            if reduce_op is not None:
+                for slot, (value, region) in enumerate(
+                    zip(reduce_op.operands, reduce_op.regions)
+                ):
+                    combine_block = region.block
+                    local_env[combine_block.args[0]] = accumulators[slot]
+                    local_env[combine_block.args[1]] = local_env[value]
+                    yielded = interp.run_block(combine_block, local_env)
+                    accumulators[slot] = yielded[0]
             return
         for position in range(lowers[dim], uppers[dim], steps[dim]):
             loop(dim + 1, indices + [position])
 
     loop(0, [])
+    for result, value in zip(op.results, accumulators):
+        interp.set(env, result, value)
 
 
 @handler("scf.if")

@@ -7,27 +7,41 @@ pattern-matches the loop nests produced by ``convert-stencil-to-scf`` (and the
 OpenMP conversion) and compiles each nest *once* into whole-array NumPy slice
 expressions — the moral equivalent of the C code Devito generates.
 
-The compiler is deliberately conservative.  A nest is vectorizable when
+A nest is vectorizable when
 
 * it is an ``scf.parallel`` / ``omp.wsloop`` nest, or an ``scf.for`` (without
   loop-carried values), possibly perfectly nested;
+* inner ``scf.for`` bounds are either nest-invariant, or the ``min``-clamped
+  tile pattern emitted by ``convert-stencil-to-scf{tile}`` (lower bound = an
+  outer tile origin, upper bound = ``arith.minsi(origin + tile, extent)``):
+  the (origin, intra-tile) loop pair walks its extent contiguously, so it is
+  *collapsed* back into one whole-extent unit-step dimension and the nest
+  becomes plain whole-array slices again;
 * every index expression is affine in the induction variables with unit
   coefficients (``iv + c`` per memref axis, or a nest-invariant constant);
-* the body consists only of ``memref.load`` / ``memref.store`` and pure
-  element-wise ``arith`` ops (no calls, no MPI, no nested control flow).
+* the body consists only of ``memref.load`` / ``memref.store``, pure
+  element-wise ``arith`` ops (including ``cmpf``/``cmpi``/``select`` chains,
+  which become ``np.where`` trees), and optionally a terminating
+  ``scf.reduce`` whose combiner is one of the ops in
+  :data:`repro.dialects.arith.REDUCTION_OP_METADATA` — compiled into a NumPy
+  reduction that replays the tree walker's deterministic left-fold (via
+  ``ufunc.accumulate`` for order-sensitive float ``+``/``*``).
 
 Anything else — data-dependent control flow, ``scf.while``, MPI operations,
-tiled nests with ``min``-clamped inner bounds — is left to the tree walker,
-*per nest*, so one non-vectorizable region never forfeits the speedup of its
-neighbours.
+non-affine indices — is left to the tree walker, *per nest*, so one
+non-vectorizable region never forfeits the speedup of its neighbours.  Every
+rejection (at compile time) and every run-time bounce is described by a
+:class:`VectorizeFallback` carrying an explicit reason string, surfaced via
+:meth:`CompiledKernel.fallback_for` and :attr:`CompiledNest.last_fallback`.
 
 Equivalence with the tree walker is bit-exact: scalar loads are widened to
 float64 exactly as ``ndarray.item()`` does, the element-wise expressions apply
-the same operation tree in the same order, and stores down-cast on assignment.
-Nests whose execution the slicing model cannot reproduce exactly (aliased
-read/write buffers with shifted offsets, out-of-range indices that python's
-negative indexing would wrap, non-positive steps) are detected at *run* time
-and bounce back to the interpreter for that invocation.
+the same operation tree in the same order, reductions fold in iteration order,
+and stores down-cast on assignment.  Nests whose execution the slicing model
+cannot reproduce exactly (aliased read/write buffers with shifted offsets,
+out-of-range indices that python's negative indexing would wrap, non-positive
+steps) are detected at *run* time and bounce back to the interpreter for that
+invocation.
 """
 
 from __future__ import annotations
@@ -40,11 +54,35 @@ import numpy as np
 from ..dialects import arith, func, memref, omp, scf
 from ..ir.attributes import FloatAttr, IntegerAttr
 from ..ir.core import BlockArgument, Operation, SSAValue
-from ..ir.types import IndexType, IntegerType
+from ..ir.types import IndexType, IntegerType, is_float_type
 
 
 class VectorizationError(Exception):
     """Internal: raised while analysing a nest that cannot be vectorized."""
+
+
+class VectorizeFallback:
+    """Why a nest (or one invocation of it) bounced to the tree walker."""
+
+    __slots__ = ("op_name", "reason")
+
+    def __init__(self, op_name: str, reason: str):
+        self.op_name = op_name
+        self.reason = reason
+
+    def __str__(self) -> str:
+        return f"{self.op_name}: {self.reason}"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"VectorizeFallback({self.op_name!r}, {self.reason!r})"
+
+
+class _Bailout(Exception):
+    """Internal: a run-time condition the slicing model cannot reproduce."""
+
+    def __init__(self, reason: str):
+        super().__init__(reason)
+        self.reason = reason
 
 
 # ---------------------------------------------------------------------------
@@ -112,6 +150,10 @@ class _Affine:
         return total
 
 
+def _affine_equal(a: _Affine, b: _Affine) -> bool:
+    return a.coeffs == b.coeffs and a.const == b.const and a.free == b.free
+
+
 # ---------------------------------------------------------------------------
 # element-wise operation tables (must mirror the scalar interpreter exactly)
 # ---------------------------------------------------------------------------
@@ -156,6 +198,15 @@ _CMPI_FNS = {
     "sgt": np.greater, "sge": np.greater_equal,
 }
 
+#: NumPy ufuncs implementing the reduction combiners named by
+#: :data:`repro.dialects.arith.REDUCTION_OP_METADATA`.
+_REDUCE_UFUNCS = {
+    "add": np.add,
+    "multiply": np.multiply,
+    "minimum": np.minimum,
+    "maximum": np.maximum,
+}
+
 
 # Compile-time operand references, resolved per execution:
 #   ("arr", value)   — tensor computed by an earlier instruction of the nest
@@ -168,46 +219,61 @@ _Ref = tuple
 class CompiledNest:
     """One vectorizable loop nest, compiled to NumPy slice expressions."""
 
-    __slots__ = ("bounds", "instrs", "count_dims", "rank")
+    __slots__ = ("bounds", "instrs", "count_bounds", "rank", "op_name",
+                 "last_fallback")
 
     def __init__(
         self,
         bounds: list[tuple[_Affine, _Affine, _Affine]],
         instrs: list[tuple],
-        count_dims: int,
+        count_bounds: list[tuple[_Affine, _Affine, _Affine]],
+        op_name: str = "scf.parallel",
     ):
         self.bounds = bounds
         self.instrs = instrs
-        #: Number of *leading* dims that belong to the scf.parallel/omp.wsloop
-        #: root: the tree walker counts one cells_updated per point of those
-        #: dims only (perfectly nested inner scf.for dims do not count, and a
-        #: plain scf.for root counts nothing).
-        self.count_dims = count_dims
+        #: The parallel-root bounds *as the tree walker sees them*: it counts
+        #: one cells_updated per point of the scf.parallel/omp.wsloop root
+        #: (for tiled nests that is one per *tile origin*, even though the
+        #: collapsed ``bounds`` walk individual cells; perfectly nested inner
+        #: scf.for dims do not count, and a plain scf.for root counts
+        #: nothing — empty ``count_bounds``).
+        self.count_bounds = count_bounds
         self.rank = len(bounds)
+        self.op_name = op_name
+        #: Why the most recent :meth:`execute` bounced (None after a success).
+        self.last_fallback: Optional[VectorizeFallback] = None
 
     # -- runtime ------------------------------------------------------------
     def execute(self, interp, env: dict) -> bool:
         """Run the nest against ``env``; return False to request a fallback.
 
         A ``False`` return leaves every buffer untouched, so the caller can
-        safely re-run the nest through the tree walker.
+        safely re-run the nest through the tree walker;
+        :attr:`last_fallback` then says why.
         """
         try:
+            plan = self._prepare(interp, env)
+        except _Bailout as bail:
+            self.last_fallback = VectorizeFallback(self.op_name, bail.reason)
+            return False
+        except Exception as err:
             # Any surprise during preparation (unresolvable free value,
             # unexpected runtime type) means the static analysis was too
             # optimistic; no buffer has been touched yet, so falling back to
             # the tree walker is always safe.
-            plan = self._prepare(interp, env)
-        except Exception:
+            self.last_fallback = VectorizeFallback(
+                self.op_name, f"preparation failed: {err}"
+            )
             return False
-        if plan is None:
-            return False
-        pending, cells = plan
+        pending, bindings, cells = plan
         # The commit cannot raise: every prepared array was validated to have
         # exactly the target region's shape and dtype.
         for array, slices, prepared in pending:
             array[slices] = prepared
+        for value, result in bindings:
+            interp.set(env, value, result)
         interp.stats.cells_updated += cells
+        self.last_fallback = None
         return True
 
     def _prepare(self, interp, env: dict):
@@ -221,12 +287,26 @@ class CompiledNest:
                 )
             )
         if any(step <= 0 for _, _, step in dims):
-            return None  # the interpreter defines the (error) semantics here
+            # The interpreter defines the (error) semantics of dynamic
+            # non-positive steps.
+            raise _Bailout("non-positive (dynamic) loop step")
+        cells = 0
+        if self.count_bounds:
+            count_dims = [
+                (
+                    lower.invariant_value(env),
+                    upper.invariant_value(env),
+                    step.invariant_value(env),
+                )
+                for lower, upper, step in self.count_bounds
+            ]
+            if any(step <= 0 for _, _, step in count_dims):
+                raise _Bailout("non-positive (dynamic) loop step")
+            cells = math.prod(
+                len(range(lower, upper, step)) for lower, upper, step in count_dims
+            )
         trips = tuple(len(range(lower, upper, step)) for lower, upper, step in dims)
-        if math.prod(trips) == 0:
-            return [], 0
         nest_shape = trips
-        cells = math.prod(trips[: self.count_dims]) if self.count_dims else 0
 
         # Resolve every load/store region up front so aliasing and bounds can
         # be validated before anything is evaluated or written.
@@ -239,16 +319,18 @@ class CompiledNest:
                 continue
             array = interp.as_array(env[instr[2]])
             axes = instr[3]
-            resolved = self._resolve_region(array, axes, dims, env, kind == "store")
-            if resolved is None:
-                return None
-            slices, view_shape, region_shape = resolved
+            slices, view_shape, region_shape = self._resolve_region(
+                array, axes, dims, env, kind == "store"
+            )
             regions[position] = (array, slices, view_shape, region_shape)
             record = (position, id(array), slices)
             (loads if kind == "load" else stores).append(record)
 
         if not self._aliasing_is_safe(loads, stores, regions):
-            return None
+            raise _Bailout(
+                "aliasing stores: load/store regions overlap between cells, so "
+                "per-cell execution order is observable"
+            )
 
         # Evaluate the element-wise program.
         values: dict[SSAValue, Any] = {}
@@ -269,6 +351,7 @@ class CompiledNest:
         # is what was computed, not what the buffer holds mid-commit.
         force_copy = len(stores) > 1
         pending: list[tuple[np.ndarray, tuple, np.ndarray]] = []
+        bindings: list[tuple[SSAValue, Any]] = []
         for position, instr in enumerate(self.instrs):
             kind = instr[0]
             if kind == "load":
@@ -282,18 +365,40 @@ class CompiledNest:
                     np.asarray(value), nest_shape
                 ).reshape(region_shape).astype(array.dtype, copy=force_copy)
                 if prepared.shape != array[slices].shape:
-                    return None
+                    raise _Bailout(
+                        "store value does not match the target region shape"
+                    )
                 pending.append((array, slices, prepared))
             elif kind == "binary":
                 values[instr[1]] = instr[2](resolve(instr[3]), resolve(instr[4]))
             elif kind == "unary":
                 values[instr[1]] = instr[2](resolve(instr[3]))
-            else:  # select
+            elif kind == "select":
                 values[instr[1]] = np.where(
                     resolve(instr[2]), resolve(instr[3]), resolve(instr[4])
                 )
+            else:  # reduce
+                _, result_value, fn, sequential, value_ref, init_ref, convert = instr
+                value = resolve(value_ref)
+                flattened = np.broadcast_to(np.asarray(value), nest_shape).ravel()
+                init = resolve(init_ref)
+                if flattened.size == 0:
+                    total: Any = init
+                elif sequential:
+                    # Order-sensitive combiners (float +/*) must replay the
+                    # tree walker's left-fold bit-for-bit: ufunc.accumulate is
+                    # defined as the sequential recurrence r[i] = r[i-1] op
+                    # a[i] (never pairwise), and ravel() of the iteration
+                    # space is exactly the tree walker's visit order.
+                    chain = np.empty(flattened.size + 1, dtype=flattened.dtype)
+                    chain[0] = init
+                    chain[1:] = flattened
+                    total = fn.accumulate(chain)[-1]
+                else:
+                    total = fn(init, fn.reduce(flattened))
+                bindings.append((result_value, convert(total)))
 
-        return pending, cells
+        return pending, bindings, cells
 
     def _resolve_region(
         self,
@@ -302,18 +407,18 @@ class CompiledNest:
         dims: list[tuple[int, int, int]],
         env: dict,
         is_store: bool,
-    ) -> Optional[tuple[tuple, tuple, tuple]]:
+    ) -> tuple[tuple, tuple, tuple]:
         """Turn per-axis affine indices into slices + broadcastable shapes.
 
         Returns ``(slices, view_shape, region_shape)``: ``view_shape`` has the
         nest's rank with the trip count at every mapped dimension and 1
         elsewhere (for broadcasting loads into the iteration space), while
         ``region_shape`` has the *memref's* rank and matches ``array[slices]``
-        exactly (for shaping store values).  None when the region cannot be
-        reproduced exactly by slicing.
+        exactly (for shaping store values).  Raises :class:`_Bailout` when the
+        region cannot be reproduced exactly by slicing.
         """
         if len(axes) != array.ndim:
-            return None
+            raise _Bailout("access rank does not match the memref rank")
         trips = tuple(len(range(*dim)) for dim in dims)
         slices = []
         view_shape = [1] * len(dims)
@@ -323,15 +428,17 @@ class CompiledNest:
             offset = affine.invariant_value(env)
             if not affine.coeffs:
                 if not 0 <= offset < array.shape[axis]:
-                    return None
+                    raise _Bailout("constant index outside the memref extent")
                 slices.append(slice(offset, offset + 1))
                 continue
             mapping = list(affine.coeffs.items())
             if len(mapping) != 1 or mapping[0][1] != 1:
-                return None
+                raise _Bailout("non-unit-stride index expression cannot be sliced")
             dim = mapping[0][0]
             if used_dims and dim <= used_dims[-1]:
-                return None  # transposed or duplicated induction variables
+                raise _Bailout(
+                    "transposed or repeated induction variables in one access"
+                )
             used_dims.append(dim)
             lower, upper, step = dims[dim]
             start = lower + offset
@@ -339,12 +446,17 @@ class CompiledNest:
             if trips[dim] and (start < 0 or last >= array.shape[axis]):
                 # Out-of-range accesses would wrap (negative) or raise in the
                 # tree walker; preserve those semantics by falling back.
-                return None
+                raise _Bailout(
+                    "out-of-range access would wrap or raise in the tree walker"
+                )
             slices.append(slice(start, upper + offset, step))
             view_shape[dim] = trips[dim]
             region_shape[axis] = trips[dim]
         if is_store and len(used_dims) != len(dims):
-            return None  # some iterations would collapse onto the same cells
+            raise _Bailout(
+                "store does not cover every nest dimension "
+                "(iterations would collapse onto the same cells)"
+            )
         return tuple(slices), tuple(view_shape), tuple(region_shape)
 
     @staticmethod
@@ -418,10 +530,18 @@ class _NestCompiler:
     def __init__(self, root: Operation):
         self.root = root
         self.bounds: list[tuple[_Affine, _Affine, _Affine]] = []
+        self.count_bounds: list[tuple[_Affine, _Affine, _Affine]] = []
         self.ivs: dict[SSAValue, int] = {}
-        # SSA value -> _Affine | ("const", literal) | "array"
+        # SSA value -> _Affine | ("const", literal) | ("min"|"max", lhs, rhs)
+        #            | "array"
         self.sym: dict[SSAValue, Union[_Affine, tuple, str]] = {}
         self.instrs: list[tuple] = []
+        #: Values whose compile-time meaning was invalidated by a tile
+        #: collapse (the tile-origin iv and expressions derived from it);
+        #: consuming one after the collapse aborts the nest.
+        self.banned: dict[SSAValue, str] = {}
+        self.parallel_dims = 0
+        self.collapsed_dims: set[int] = set()
 
     def compile(self) -> CompiledNest:
         root = self.root
@@ -433,18 +553,20 @@ class _NestCompiler:
                 self._push_dim(iv, lower, upper, step)
             # The tree walker counts cells_updated once per point of the
             # parallel dims only; inner scf.for dims flattened later by
-            # _compile_block must not inflate the statistic.
-            count_dims = len(self.bounds)
+            # _compile_block must not inflate the statistic.  Collapsing a
+            # tile pair rewrites self.bounds[dim] but leaves this snapshot
+            # (the tile-origin bounds) untouched.
+            self.count_bounds = list(self.bounds)
+            self.parallel_dims = len(self.bounds)
         elif isinstance(root, scf.ForOp):
             if root.iter_args or root.results:
                 raise VectorizationError("loop-carried values cannot be vectorized")
             block = root.body.block
             self._push_dim(block.args[0], root.lower_bound, root.upper_bound, root.step)
-            count_dims = 0
         else:
             raise VectorizationError(f"{root.name} is not a vectorizable nest")
         self._compile_block(block)
-        return CompiledNest(self.bounds, self.instrs, count_dims)
+        return CompiledNest(self.bounds, self.instrs, self.count_bounds, root.name)
 
     def _push_dim(self, iv: SSAValue, lower, upper, step) -> None:
         self.ivs[iv] = len(self.bounds)
@@ -471,6 +593,11 @@ class _NestCompiler:
                 if op.operands or position != len(ops) - 1:
                     raise VectorizationError("nests must not yield values")
                 return
+            if isinstance(op, scf.ReduceOp):
+                if position != len(ops) - 1:
+                    raise VectorizationError("scf.reduce must terminate the nest body")
+                self._compile_reduce(op)
+                return
             if isinstance(op, scf.ForOp):
                 # Perfectly nested inner loop: nothing may follow it.
                 if op.iter_args or op.results:
@@ -479,11 +606,179 @@ class _NestCompiler:
                 if len(remainder) != 1 or remainder[0].name not in _NEST_TERMINATORS \
                         or remainder[0].operands:
                     raise VectorizationError("inner loop is not perfectly nested")
-                inner = op.body.block
-                self._push_dim(inner.args[0], op.lower_bound, op.upper_bound, op.step)
-                self._compile_block(inner)
+                self._enter_inner_for(op)
+                self._compile_block(op.body.block)
                 return
             self._compile_op(op)
+
+    def _enter_inner_for(self, op: scf.ForOp) -> None:
+        """Add an inner ``scf.for`` as a nest dimension, or collapse a tile.
+
+        Nest-invariant bounds extend the iteration space by one dimension.
+        The min-clamped tile pattern (lower bound = an outer tile-origin iv,
+        upper bound = ``minsi(origin + tile_size, extent)``) instead rewrites
+        the origin dimension into the full ``[lower, extent)`` unit-step range
+        and maps this loop's iv onto it.  Loops tagged ``tile_dim`` by
+        ``convert-stencil-to-scf{tile}`` go straight to the tile path.
+        """
+        iv = op.body.block.args[0]
+        if "tile_dim" not in op.attributes:
+            try:
+                lower = self._invariant_operand(op.lower_bound)
+                upper = self._invariant_operand(op.upper_bound)
+                step = self._invariant_operand(op.step)
+            except VectorizationError:
+                pass
+            else:
+                self.ivs[iv] = len(self.bounds)
+                self.bounds.append((lower, upper, step))
+                return
+        self._collapse_tile(op, iv)
+
+    def _collapse_tile(self, op: scf.ForOp, iv: SSAValue) -> None:
+        lower = self._index_operand(op.lower_bound)
+        if (
+            lower is None or lower.const or lower.free
+            or list(lower.coeffs.values()) != [1]
+        ):
+            raise VectorizationError(
+                "inner loop bounds are neither nest-invariant nor the "
+                "min-clamped tile pattern"
+            )
+        dim = next(iter(lower.coeffs))
+        if dim >= self.parallel_dims or dim in self.collapsed_dims:
+            raise VectorizationError(
+                "tile lower bound must be an un-collapsed outer parallel "
+                "induction variable"
+            )
+        step = self._index_operand(op.step)
+        if step is None or not step.is_literal or step.const != 1:
+            raise VectorizationError("intra-tile loops must have unit step")
+        clamp = self.sym.get(op.upper_bound)
+        if not (isinstance(clamp, tuple) and clamp[0] == "min"):
+            raise VectorizationError(
+                "tile upper bound must be an arith.minsi clamp of the tile end"
+            )
+        outer_lower, outer_upper, outer_step = self.bounds[dim]
+        if not outer_step.is_literal or outer_step.const <= 0:
+            raise VectorizationError(
+                "tile loop step (the tile size) must be a positive literal"
+            )
+        matched: Optional[_Affine] = None
+        for tile_end, limit in ((clamp[1], clamp[2]), (clamp[2], clamp[1])):
+            if limit.coeffs:
+                continue
+            extent = tile_end.combine(_Affine({dim: 1}), -1)
+            if extent.coeffs:
+                continue
+            # The clamp must be min(origin + tile_size, outer_upper) with
+            # tile_size == the outer step: only then does the (origin,
+            # intra-tile) pair cover [outer_lower, outer_upper) contiguously
+            # in ascending order.
+            if _affine_equal(extent, outer_step) and _affine_equal(limit, outer_upper):
+                matched = limit
+                break
+        if matched is None:
+            raise VectorizationError(
+                "tile clamp does not match the outer tile loop's step and bound"
+            )
+        if self._instrs_mention_dim(dim):
+            # A load/store/value emitted *before* this tile loop already
+            # captured the dimension at tile-origin granularity; rewriting it
+            # to cell granularity would silently change what those
+            # instructions compute (e.g. a hoisted load of u[origin]).
+            raise VectorizationError(
+                "tile origin used by instructions before the tile loop"
+            )
+        self.bounds[dim] = (outer_lower, matched, _Affine(const=1))
+        self.collapsed_dims.add(dim)
+        # The collapsed dimension now means "cell index", not "tile origin":
+        # ban the origin iv and every symbolic expression that captured the
+        # old meaning (they were only ever legitimate inputs to this loop's
+        # bounds, which have been consumed).
+        for value, mapped in list(self.ivs.items()):
+            if mapped == dim:
+                del self.ivs[value]
+                self.banned[value] = "tile origin used outside its tile loop"
+        for value, symbol in list(self.sym.items()):
+            if self._mentions_dim(symbol, dim):
+                del self.sym[value]
+                self.banned[value] = (
+                    "tile-origin expression used outside the tile-loop bounds"
+                )
+        self.ivs[iv] = dim
+
+    @staticmethod
+    def _mentions_dim(symbol, dim: int) -> bool:
+        if isinstance(symbol, _Affine):
+            return dim in symbol.coeffs
+        if isinstance(symbol, tuple) and symbol[0] in ("min", "max"):
+            return dim in symbol[1].coeffs or dim in symbol[2].coeffs
+        return False
+
+    def _instrs_mention_dim(self, dim: int) -> bool:
+        """Whether any already-compiled instruction references dimension ``dim``."""
+
+        def ref_mentions(ref) -> bool:
+            return (
+                isinstance(ref, tuple) and len(ref) == 2 and ref[0] == "aff"
+                and dim in ref[1].coeffs
+            )
+
+        for instr in self.instrs:
+            kind = instr[0]
+            if kind in ("load", "store"):
+                if any(dim in affine.coeffs for affine in instr[3]):
+                    return True
+                if kind == "store" and ref_mentions(instr[1]):
+                    return True
+            elif any(ref_mentions(part) for part in instr[2:]):
+                return True
+        return False
+
+    # -- reductions ---------------------------------------------------------
+    def _compile_reduce(self, op: scf.ReduceOp) -> None:
+        root = self.root
+        if not isinstance(root, scf.ParallelOp) or op.parent is not root.body.block:
+            raise VectorizationError(
+                "scf.reduce must terminate the scf.parallel body"
+            )
+        if len(op.operands) != len(root.results) or len(op.regions) != len(op.operands):
+            raise VectorizationError("scf.reduce value/combiner count mismatch")
+        for value, region, init, result in zip(
+            op.operands, op.regions, root.init_values, root.results
+        ):
+            fn, sequential = self._combiner_kind(region)
+            convert = float if is_float_type(result.type) else int
+            self.instrs.append(
+                (
+                    "reduce", result, fn, sequential,
+                    self._value_ref(value), self._value_ref(init), convert,
+                )
+            )
+
+    @staticmethod
+    def _combiner_kind(region) -> tuple[Any, bool]:
+        block = region.block
+        ops = list(block.ops)
+        if len(block.args) != 2 or len(ops) != 2:
+            raise VectorizationError("unsupported scf.reduce combiner structure")
+        combine, terminator = ops
+        metadata = arith.REDUCTION_OP_METADATA.get(combine.name)
+        if metadata is None:
+            raise VectorizationError(
+                f"reduction over {combine.name!r} is not supported"
+            )
+        if set(combine.operands) != set(block.args):
+            raise VectorizationError(
+                "combiner must apply its op to (accumulator, value)"
+            )
+        if not isinstance(terminator, scf.YieldOp) or list(terminator.operands) != [
+            combine.results[0]
+        ]:
+            raise VectorizationError("combiner must yield the combined value")
+        ufunc_name, sequential = metadata
+        return _REDUCE_UFUNCS[ufunc_name], sequential
 
     # -- per-op classification ----------------------------------------------
     def _compile_op(self, op: Operation) -> None:
@@ -526,6 +821,22 @@ class _NestCompiler:
                         self.sym[op.results[0]] = lhs.scale(rhs.const)
                     else:
                         raise VectorizationError("non-affine index product")
+                return
+        if name in ("arith.minsi", "arith.maxsi"):
+            # Symbolic min/max of index expressions: the clamp of a tiled
+            # loop's upper bound.  Elementwise minsi on loaded data still hits
+            # the _BINARY_FNS path below (its operands are arrays, not
+            # affines).
+            lhs = self._index_operand(op.operands[0])
+            rhs = self._index_operand(op.operands[1])
+            if lhs is not None and rhs is not None:
+                if lhs.is_literal and rhs.is_literal:
+                    fold = min if name == "arith.minsi" else max
+                    self.sym[op.results[0]] = _Affine(const=fold(lhs.const, rhs.const))
+                else:
+                    self.sym[op.results[0]] = (
+                        "min" if name == "arith.minsi" else "max", lhs, rhs,
+                    )
                 return
         if name in ("arith.index_cast", "arith.extsi", "arith.trunci"):
             affine = self._index_operand(op.operands[0])
@@ -600,6 +911,8 @@ class _NestCompiler:
     # -- operand classification ----------------------------------------------
     def _index_operand(self, value: SSAValue) -> Optional[_Affine]:
         """An affine view of ``value``, or None when it is not index-like."""
+        if value in self.banned:
+            raise VectorizationError(self.banned[value])
         if value in self.ivs:
             return _Affine({self.ivs[value]: 1})
         symbol = self.sym.get(value)
@@ -610,6 +923,17 @@ class _NestCompiler:
                     and not isinstance(symbol[1], bool):
                 return _Affine(const=symbol[1])
             return None
+        # Constants defined *outside* the nest fold to literals so tile
+        # clamps survive LICM/CSE hoisting their operands out of the body.
+        owner = value.owner
+        if isinstance(owner, arith.ConstantOp):
+            attr = owner.value
+            if isinstance(attr, IntegerAttr):
+                result_type = owner.results[0].type
+                if isinstance(result_type, IntegerType) and result_type.width == 1:
+                    return None
+                return _Affine(const=int(attr.value))
+            return None
         value_type = value.type
         if isinstance(value_type, IndexType) or (
             isinstance(value_type, IntegerType) and value_type.width > 1
@@ -618,10 +942,22 @@ class _NestCompiler:
         return None
 
     def _value_ref(self, value: SSAValue) -> _Ref:
+        if value in self.banned:
+            raise VectorizationError(self.banned[value])
         if value in self.ivs:
             return ("aff", _Affine({self.ivs[value]: 1}))
         symbol = self.sym.get(value)
         if symbol is None:
+            owner = value.owner
+            if isinstance(owner, arith.ConstantOp):
+                attr = owner.value
+                if isinstance(attr, IntegerAttr):
+                    result_type = owner.results[0].type
+                    if isinstance(result_type, IntegerType) and result_type.width == 1:
+                        return ("const", bool(attr.value))
+                    return ("const", int(attr.value))
+                if isinstance(attr, FloatAttr):
+                    return ("const", float(attr.value))
             return ("free", value)  # defined outside the nest: env lookup
         if symbol == "array":
             return ("arr", value)
@@ -629,15 +965,27 @@ class _NestCompiler:
             if symbol.is_literal:
                 return ("const", symbol.const)
             return ("aff", symbol)
+        if isinstance(symbol, tuple) and symbol[0] in ("min", "max"):
+            raise VectorizationError(
+                "min/max index clamp used as a value outside loop bounds"
+            )
         return ("const", symbol[1])
 
 
 def compile_loop_nest(op: Operation) -> Optional[CompiledNest]:
     """Compile one loop nest, or return None when it is not vectorizable."""
+    compiled = compile_loop_nest_or_fallback(op)
+    return compiled if isinstance(compiled, CompiledNest) else None
+
+
+def compile_loop_nest_or_fallback(
+    op: Operation,
+) -> Union[CompiledNest, VectorizeFallback]:
+    """Compile one loop nest, or say *why* it cannot be vectorized."""
     try:
         return _NestCompiler(op).compile()
-    except VectorizationError:
-        return None
+    except VectorizationError as err:
+        return VectorizeFallback(op.name, str(err))
 
 
 # ---------------------------------------------------------------------------
@@ -647,19 +995,38 @@ def compile_loop_nest(op: Operation) -> Optional[CompiledNest]:
 class CompiledKernel:
     """Vectorized nests of one function, looked up by nest operation."""
 
-    def __init__(self, function_name: str, nests: dict[int, CompiledNest]):
+    def __init__(
+        self,
+        function_name: str,
+        nests: dict[int, CompiledNest],
+        fallbacks: Optional[dict[int, VectorizeFallback]] = None,
+    ):
         self.function_name = function_name
         self.nests = nests
+        #: Candidate nest roots that could *not* be compiled, with reasons.
+        self.fallbacks: dict[int, VectorizeFallback] = fallbacks or {}
 
     def nest_for(self, op: Operation) -> Optional[CompiledNest]:
         return self.nests.get(id(op))
+
+    def fallback_for(self, op: Operation) -> Optional[VectorizeFallback]:
+        """Why ``op`` was not compiled (None when it was, or was never a root)."""
+        return self.fallbacks.get(id(op))
 
     @property
     def nest_count(self) -> int:
         return len(self.nests)
 
+    @property
+    def fallback_reasons(self) -> list[str]:
+        """Every compile-time rejection, as human-readable strings."""
+        return sorted(str(fallback) for fallback in self.fallbacks.values())
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"<CompiledKernel {self.function_name!r}: {len(self.nests)} nests>"
+        return (
+            f"<CompiledKernel {self.function_name!r}: {len(self.nests)} nests, "
+            f"{len(self.fallbacks)} fallbacks>"
+        )
 
 
 _CANDIDATES = (scf.ParallelOp, omp.WsLoopOp, scf.ForOp)
@@ -673,6 +1040,7 @@ def compile_kernel(module: Operation, function_name: str) -> CompiledKernel:
     case them.
     """
     nests: dict[int, CompiledNest] = {}
+    fallbacks: dict[int, VectorizeFallback] = {}
     for op in module.walk():
         if not (isinstance(op, func.FuncOp) and op.sym_name == function_name):
             continue
@@ -685,12 +1053,14 @@ def compile_kernel(module: Operation, function_name: str) -> CompiledKernel:
                 for ancestor in _ancestors(candidate)
             ):
                 continue  # already covered by a vectorized enclosing nest
-            nest = compile_loop_nest(candidate)
-            if nest is not None:
+            nest = compile_loop_nest_or_fallback(candidate)
+            if isinstance(nest, CompiledNest):
                 nests[id(candidate)] = nest
                 compiled_region_roots.add(id(candidate))
+            else:
+                fallbacks[id(candidate)] = nest
         break
-    return CompiledKernel(function_name, nests)
+    return CompiledKernel(function_name, nests, fallbacks)
 
 
 def _ancestors(op: Operation):

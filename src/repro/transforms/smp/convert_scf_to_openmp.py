@@ -31,6 +31,10 @@ def convert_scf_to_openmp(module: Operation, num_threads: Optional[int] = None) 
         # GPU-mapped loops are not OpenMP targets.
         if "gpu_kernel" in parallel.attributes:
             continue
+        # Reduction loops (scf.parallel with init values / results) keep their
+        # scf form: omp.wsloop has no reduction clause in this minimal dialect.
+        if parallel.results:
+            continue
         parent_block = parallel.parent_block
         assert parent_block is not None
 

@@ -19,7 +19,7 @@ from typing import Optional, Sequence
 
 from ...dialects import arith, builtin, memref, scf, stencil
 from ...dialects.builtin import UnrealizedConversionCastOp
-from ...ir.attributes import UnitAttr
+from ...ir.attributes import IntAttr, UnitAttr
 from ...ir.builder import Builder
 from ...ir.context import MLContext
 from ...ir.core import Block, BlockArgument, Operation, Region, SSAValue
@@ -190,6 +190,12 @@ class _ApplyLowering:
             ).result
             clamped = current_builder.insert(arith.MinSIOp(tile_end, dim_upper)).result
             for_op = scf.ForOp(tile_origins[dim], clamped, one)
+            # Tag the intra-tile loop with the dimension it tiles: the
+            # vectorizer uses this to recognise the min-clamped tile pattern
+            # and collapse the (origin, intra-tile) loop pair back into one
+            # whole-extent dimension.  The tag survives convert-scf-to-openmp
+            # because loop bodies are moved, not cloned.
+            for_op.attributes["tile_dim"] = IntAttr(dim)
             current_builder.insert(for_op)
             loop_ivs.append(for_op.induction_variable)
             current_block = for_op.body.block

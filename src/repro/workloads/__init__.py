@@ -18,6 +18,7 @@ from .psyclone_workloads import (
     PAPER_TRAADV_SIZES_CPU,
     PAPER_TRAADV_SIZES_GPU,
     PsycloneWorkload,
+    masked_tracer_advection,
     pw_advection,
     tracer_advection,
 )
@@ -26,6 +27,7 @@ __all__ = [
     "DevitoWorkload", "heat_diffusion", "acoustic_wave", "paper_workload",
     "kernel_label", "PAPER_PROBLEM_SIZES", "PAPER_TIMESTEPS", "PAPER_SPACE_ORDERS",
     "PsycloneWorkload", "pw_advection", "tracer_advection",
+    "masked_tracer_advection",
     "PAPER_PW_SIZES_CPU", "PAPER_TRAADV_SIZES_CPU",
     "PAPER_PW_SIZES_GPU", "PAPER_TRAADV_SIZES_GPU",
     "PAPER_PW_SCALING_SHAPE", "PAPER_TRAADV_SCALING_SHAPE",

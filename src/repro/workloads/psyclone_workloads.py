@@ -48,15 +48,19 @@ def _pw_advection_source() -> str:
     return f"subroutine pw_advection(su, sv, sw, u, v, w)\n{body}\nend subroutine\n"
 
 
-def _tracer_advection_source(computations: int = 24) -> str:
+def _tracer_advection_source(computations: int = 24, masked: bool = False) -> str:
     """A chain of dependent stencil computations over six fields (NEMO traadv).
 
     The kernel alternates between six fields; each computation reads the
     previous intermediate result (creating the dependencies that prevent
-    fusion) plus one other field with a shifted access.
+    fusion) plus one other field with a shifted access.  With ``masked`` the
+    upwind flux of every computation is guarded by a ``merge`` on the sign of
+    the previous field — the land/sea + upwind masking pattern of the
+    production NEMO kernel, lowered to ``arith.cmpf``/``arith.select`` chains.
     """
     fields = ["tra", "pun", "pvn", "pwn", "zwx", "zwy"]
-    lines = [f"subroutine tracer_advection({', '.join(fields)})"]
+    name = "masked_tracer_advection" if masked else "tracer_advection"
+    lines = [f"subroutine {name}({', '.join(fields)})"]
     axis_names = ["i", "j", "k"]
     for step in range(computations):
         out = fields[(step + 1) % len(fields)]
@@ -67,10 +71,17 @@ def _tracer_advection_source(computations: int = 24) -> str:
         minus = list(axis_names)
         plus[axis] += "+1"
         minus[axis] += "-1"
-        expression = (
+        flux = (
             f"0.5 * ({previous}({', '.join(plus)}) - {previous}({', '.join(minus)}))"
             f" + 0.25 * {other}(i, j, k) + 0.125 * {previous}(i, j, k)"
         )
+        if masked:
+            expression = (
+                f"merge({flux}, 0.125 * {previous}(i, j, k), "
+                f"{previous}(i, j, k) > 0.5)"
+            )
+        else:
+            expression = flux
         lines.append("  do k = 1, nz")
         lines.append("    do j = 1, ny")
         lines.append("      do i = 1, nx")
@@ -135,6 +146,18 @@ def tracer_advection(
     return PsycloneWorkload(
         name="traadv",
         source=_tracer_advection_source(computations),
+        shape=tuple(int(s) for s in shape),
+        iterations=iterations,
+    )
+
+
+def masked_tracer_advection(
+    shape: Sequence[int] = (64, 64, 32), iterations: int = 100, computations: int = 24
+) -> PsycloneWorkload:
+    """Tracer advection with merge()-masked upwind fluxes (select chains)."""
+    return PsycloneWorkload(
+        name="traadv-masked",
+        source=_tracer_advection_source(computations, masked=True),
         shape=tuple(int(s) for s in shape),
         iterations=iterations,
     )

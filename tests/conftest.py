@@ -6,7 +6,7 @@ import numpy as np
 import pytest
 
 from repro.dialects import arith, builtin, func, scf, stencil
-from repro.ir import Builder, FunctionType, default_context, f64, index
+from repro.ir import Builder, FunctionType, MemRefType, default_context, f64, index
 
 
 @pytest.fixture
@@ -75,3 +75,37 @@ def jacobi_initial():
     data = np.zeros(10)
     data[1:9] = np.arange(8, dtype=float)
     return data
+
+
+def build_reduce_module(n: int, combine_op, init_value: float):
+    """sum/min/max-style reduction of u[i,j]^2 over an n x n memref.
+
+    kernel(%u : memref<nxn>, %out : memref<1>) runs one scf.parallel nest with
+    an init value, folds every squared element through ``combine_op`` via
+    scf.reduce, and stores the loop result to out[0].  Shared by the backend
+    equivalence tests and the reduce speedup benchmark.
+    """
+    from repro.dialects import arith, memref
+
+    kernel = func.FuncOp(
+        "kernel",
+        FunctionType([MemRefType([n, n], f64), MemRefType([1], f64)], []),
+    )
+    u, out = kernel.args
+    builder = Builder.at_end(kernel.body.block)
+    zero = builder.insert(arith.ConstantOp.from_int(0)).result
+    one = builder.insert(arith.ConstantOp.from_int(1)).result
+    extent = builder.insert(arith.ConstantOp.from_int(n)).result
+    init = builder.insert(arith.ConstantOp.from_float(init_value, f64)).result
+    loop = scf.ParallelOp(
+        [zero, zero], [extent, extent], [one, one], init_values=[init]
+    )
+    inner = Builder.at_end(loop.body.block)
+    i, j = loop.induction_variables
+    value = inner.insert(memref.LoadOp(u, [i, j])).result
+    squared = inner.insert(arith.MulfOp(value, value)).result
+    inner.insert(scf.ReduceOp.combining(squared, combine_op))
+    builder.insert(loop)
+    builder.insert(memref.StoreOp(loop.results[0], out, [zero]))
+    builder.insert(func.ReturnOp([]))
+    return builtin.ModuleOp([kernel])

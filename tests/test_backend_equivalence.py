@@ -22,10 +22,18 @@ from repro.core import (
     smp_target,
 )
 from repro.dialects import arith, builtin, func, memref, scf
-from repro.interp import CompiledNest, Interpreter, compile_kernel, compile_loop_nest
+from repro.frontends.psyclone import reference_execute
+from repro.interp import (
+    CompiledNest,
+    Interpreter,
+    VectorizeFallback,
+    compile_kernel,
+    compile_loop_nest,
+    compile_loop_nest_or_fallback,
+)
 from repro.ir import Builder, FunctionType, MemRefType, f64, index
 from repro.transforms.distribute import GridSlicingStrategy
-from repro.workloads import acoustic_wave, heat_diffusion
+from repro.workloads import acoustic_wave, heat_diffusion, masked_tracer_advection
 from tests.conftest import build_jacobi_module, jacobi_reference
 
 
@@ -458,3 +466,344 @@ class TestReviewRegressions:
         Interpreter(module, kernel=compiled).call("kernel", data_vector, 10)
         assert np.array_equal(data_interp, [10.0, 11.0, 12.0, 13.0])
         assert np.array_equal(data_interp, data_vector)
+
+
+# ---------------------------------------------------------------------------
+# PR 3: tiled, reducing and masked nests
+# ---------------------------------------------------------------------------
+
+class TestTiledNestVectorization:
+    """min-clamped tile loop pairs collapse into whole-array slices."""
+
+    def test_tiled_jacobi_nest_is_compiled_not_tree_walked(self):
+        program = compile_stencil_program(
+            build_jacobi_module(), cpu_target(tile_sizes=(3,))
+        )
+        roots = [
+            op for op in program.module.walk()
+            if op.name in ("scf.parallel", "omp.wsloop")
+        ]
+        assert roots, "tiled lowering should produce a parallel root"
+        kernel = program.compiled_kernel("kernel")
+        for root in roots:
+            nest = kernel.nest_for(root)
+            assert nest is not None, kernel.fallback_reasons
+            # Collapsed to cell granularity, counted at tile granularity.
+            assert nest.bounds != nest.count_bounds
+
+    @pytest.mark.parametrize("tile", [(3,), (4,), (8,), (16,)])
+    def test_tiled_jacobi_bit_identical_any_tile_size(self, tile):
+        # Tile sizes that divide the extent, exceed it, and leave remainders.
+        program = compile_stencil_program(build_jacobi_module(), cpu_target(tile_sizes=tile))
+        initial = _jacobi_inputs(8, 1, seed=41)
+        interp_args, vector_args = _run_both(
+            program, lambda: [initial.copy(), initial.copy()], steps=3
+        )
+        for a, b in zip(interp_args, vector_args):
+            assert np.array_equal(a, b)
+
+    @pytest.mark.parametrize(
+        "target",
+        [cpu_target(tile_sizes=(16, 16)), smp_target(threads=4, tile_sizes=(16, 16))],
+        ids=["cpu-tiled", "smp-tiled"],
+    )
+    def test_tiled_devito_heat_bit_identical_and_vectorized(self, target):
+        workload = heat_diffusion((64, 64), space_order=4, dtype=np.float64)
+        workload.initialise(seed=13)
+        operator = workload.operator(backend="xdsl")
+        module = operator.stencil_module(dt=workload.dt)
+        program = compile_stencil_program(module, target)
+        kernel = program.compiled_kernel("kernel")
+        assert kernel.nest_count >= 1, kernel.fallback_reasons
+        fields = operator._field_arguments()
+        interp_args = [a.copy() for a in fields]
+        vector_args = [a.copy() for a in fields]
+        r_i = run_local(
+            program, [*interp_args, 3], function="kernel", backend="interpreter"
+        )
+        r_v = run_local(
+            program, [*vector_args, 3], function="kernel", backend="vectorized"
+        )
+        for a, b in zip(interp_args, vector_args):
+            assert np.array_equal(a, b)
+        # cells_updated counts tile origins in both backends.
+        assert (
+            r_i.statistics[0].cells_updated == r_v.statistics[0].cells_updated
+        )
+
+
+from tests.conftest import build_reduce_module as _build_reduce_module
+
+
+class TestReduceNestVectorization:
+    """scf.reduce nests compile to NumPy reductions with the tree walker's fold."""
+
+    @pytest.mark.parametrize(
+        "combine_op, init",
+        [
+            (arith.AddfOp, 0.0),
+            (arith.MulfOp, 1.0),
+            (arith.MinimumfOp, float("inf")),
+            (arith.MaximumfOp, float("-inf")),
+        ],
+        ids=["sum", "product", "min", "max"],
+    )
+    def test_reduce_bit_identical(self, combine_op, init):
+        module = _build_reduce_module(7, combine_op, init)
+        module.verify()
+        rng = np.random.default_rng(3)
+        data = rng.standard_normal((7, 7))
+        out_interp, out_vector = np.zeros(1), np.zeros(1)
+        interp = Interpreter(module)
+        interp.call("kernel", data.copy(), out_interp)
+        kernel = compile_kernel(module, "kernel")
+        assert kernel.nest_count == 1, kernel.fallback_reasons
+        vector = Interpreter(module, kernel=kernel)
+        vector.call("kernel", data.copy(), out_vector)
+        # Bit-identical: the vectorized fold replays the sequential order
+        # (ufunc.accumulate), not NumPy's pairwise summation.
+        assert out_interp[0] == out_vector[0]
+        assert interp.stats.cells_updated == vector.stats.cells_updated == 49
+
+    def test_reduce_with_empty_iteration_space_returns_init(self):
+        module = _build_reduce_module(0, arith.AddfOp, 41.5)
+        out_interp, out_vector = np.zeros(1), np.zeros(1)
+        Interpreter(module).call("kernel", np.zeros((0, 0)), out_interp)
+        Interpreter(module, kernel=compile_kernel(module, "kernel")).call(
+            "kernel", np.zeros((0, 0)), out_vector
+        )
+        assert out_interp[0] == out_vector[0] == 41.5
+
+    def test_unsupported_combiner_reports_reason_and_tree_walks(self):
+        module = _build_reduce_module(4, arith.SubfOp, 0.0)
+        loop = next(op for op in module.walk() if isinstance(op, scf.ParallelOp))
+        fallback = compile_loop_nest_or_fallback(loop)
+        assert isinstance(fallback, VectorizeFallback)
+        assert "arith.subf" in fallback.reason and "not supported" in fallback.reason
+        # The tree walker still executes it (generic combiner region).
+        data = np.arange(16, dtype=np.float64).reshape(4, 4)
+        out = np.zeros(1)
+        Interpreter(module).call("kernel", data, out)
+        expected = 0.0
+        for value in (data ** 2).ravel():
+            expected = expected - value
+        assert out[0] == expected
+
+
+class TestMaskedTracerEquivalence:
+    """merge()-masked PsyClone tracer kernels vectorize end-to-end."""
+
+    def test_masked_tracer_bit_identical_and_fully_vectorized(self):
+        workload = masked_tracer_advection((8, 8, 4), iterations=2, computations=6)
+        module = workload.build_module(dtype=np.float64)
+        program = compile_stencil_program(module, cpu_target())
+        kernel = program.compiled_kernel(workload.schedule.name)
+        # One vectorized nest per stencil computation: the select/cmpf chains
+        # must not force any stencil back onto the tree walker.
+        assert kernel.nest_count == 6, kernel.fallback_reasons
+
+        arrays = workload.arrays(halo=1, dtype=np.float64, seed=17)
+        names = workload.schedule.array_names()
+        interp_args = [arrays[name].copy() for name in names]
+        vector_args = [arrays[name].copy() for name in names]
+        r_i = run_local(
+            program, [*interp_args, workload.iterations],
+            function=workload.schedule.name, backend="interpreter",
+        )
+        r_v = run_local(
+            program, [*vector_args, workload.iterations],
+            function=workload.schedule.name, backend="vectorized",
+        )
+        for a, b in zip(interp_args, vector_args):
+            assert np.array_equal(a, b)
+        assert r_i.statistics[0].cells_updated == r_v.statistics[0].cells_updated
+
+    def test_masked_tracer_matches_numpy_oracle(self):
+        workload = masked_tracer_advection((6, 6, 4), iterations=1, computations=6)
+        module = workload.build_module(dtype=np.float64)
+        program = compile_stencil_program(module, cpu_target())
+        arrays = workload.arrays(halo=1, dtype=np.float64, seed=19)
+        names = workload.schedule.array_names()
+        compiled_args = [arrays[name].copy() for name in names]
+        run_local(
+            program, [*compiled_args, 1],
+            function=workload.schedule.name, backend="vectorized",
+        )
+        reference = {name: arrays[name].copy() for name in names}
+        reference_execute(workload.schedule, reference, halo=1, iterations=1)
+        for name, array in zip(names, compiled_args):
+            assert np.allclose(reference[name], array)
+
+
+class TestVectorizeFallbackReasons:
+    """Every unsupported construct produces an explicit reason string."""
+
+    def _parallel_over(self, kernel_args, build_body, upper=4):
+        kernel = func.FuncOp("kernel", FunctionType(kernel_args, []))
+        b = Builder.at_end(kernel.body.block)
+        zero = b.insert(arith.ConstantOp.from_int(0)).result
+        one = b.insert(arith.ConstantOp.from_int(1)).result
+        bound = b.insert(arith.ConstantOp.from_int(upper)).result
+        loop = scf.ParallelOp([zero], [bound], [one])
+        build_body(Builder.at_end(loop.body.block), kernel.args, loop)
+        b.insert(loop)
+        b.insert(func.ReturnOp([]))
+        return builtin.ModuleOp([kernel]), loop
+
+    def test_non_affine_index_reason(self):
+        def body(inner, args, loop):
+            iv = loop.induction_variables[0]
+            squared = inner.insert(arith.MuliOp(iv, iv)).result
+            value = inner.insert(memref.LoadOp(args[0], [squared])).result
+            inner.insert(memref.StoreOp(value, args[1], [iv]))
+            inner.insert(scf.YieldOp([]))
+
+        module, loop = self._parallel_over(
+            [MemRefType([16], f64), MemRefType([4], f64)], body
+        )
+        kernel = compile_kernel(module, "kernel")
+        fallback = kernel.fallback_for(loop)
+        assert fallback is not None
+        assert "non-affine" in fallback.reason
+        assert any("non-affine" in reason for reason in kernel.fallback_reasons)
+
+    def test_unknown_op_reason_names_the_op(self):
+        def body(inner, args, loop):
+            iv = loop.induction_variables[0]
+            loaded = inner.insert(memref.LoadOp(args[0], [iv])).result
+            threshold = inner.insert(arith.ConstantOp.from_float(0.0, f64)).result
+            cond = inner.insert(arith.CmpfOp("ogt", loaded, threshold)).result
+            if_op = scf.IfOp(cond)
+            Builder.at_end(if_op.then_region.block).insert(scf.YieldOp([]))
+            inner.insert(if_op)
+            inner.insert(scf.YieldOp([]))
+
+        module, loop = self._parallel_over([MemRefType([4], f64)], body)
+        fallback = compile_kernel(module, "kernel").fallback_for(loop)
+        assert fallback is not None and "scf.if" in fallback.reason
+
+    def test_dynamic_non_positive_step_runtime_reason(self):
+        # The step is a function argument: statically vectorizable, but a
+        # non-positive runtime value must bounce (the interpreter defines the
+        # semantics) with an explicit reason.
+        kernel = func.FuncOp(
+            "kernel", FunctionType([MemRefType([8], f64), index], [])
+        )
+        u, step_arg = kernel.args
+        b = Builder.at_end(kernel.body.block)
+        zero = b.insert(arith.ConstantOp.from_int(0)).result
+        eight = b.insert(arith.ConstantOp.from_int(8)).result
+        loop = scf.ParallelOp([zero], [eight], [step_arg])
+        inner = Builder.at_end(loop.body.block)
+        value = inner.insert(arith.ConstantOp.from_float(1.0, f64)).result
+        inner.insert(memref.StoreOp(value, u, [loop.induction_variables[0]]))
+        inner.insert(scf.YieldOp([]))
+        b.insert(loop)
+        b.insert(func.ReturnOp([]))
+        module = builtin.ModuleOp([kernel])
+        compiled = compile_kernel(module, "kernel")
+        nest = compiled.nest_for(loop)
+        assert nest is not None  # statically fine
+
+        data = np.zeros(8)
+        Interpreter(module, kernel=compiled).call("kernel", data, -1)
+        assert np.array_equal(data, np.zeros(8))  # tree walker: empty range
+        assert nest.last_fallback is not None
+        assert "step" in nest.last_fallback.reason
+
+        # A healthy step executes vectorized and clears the record.
+        Interpreter(module, kernel=compiled).call("kernel", data, 2)
+        assert nest.last_fallback is None
+        assert np.array_equal(data[::2], np.ones(4))
+
+    def test_aliasing_store_runtime_reason(self):
+        module = TestRuntimeFallback()._inplace_shifted_module()
+        loop = next(op for op in module.walk() if isinstance(op, scf.ParallelOp))
+        compiled = compile_kernel(module, "kernel")
+        nest = compiled.nest_for(loop)
+        assert nest is not None
+        data = np.arange(10, dtype=np.float64)
+        Interpreter(module, kernel=compiled).call("kernel", data)
+        assert nest.last_fallback is not None
+        assert "aliasing" in nest.last_fallback.reason
+
+    def test_loop_carried_values_reason(self):
+        module = build_jacobi_module()
+        program = compile_stencil_program(module, cpu_target())
+        time_loop = next(op for op in program.module.walk() if isinstance(op, scf.ForOp))
+        fallback = compile_loop_nest_or_fallback(time_loop)
+        assert isinstance(fallback, VectorizeFallback)
+        assert "loop-carried" in fallback.reason
+
+
+class TestReviewRegressionsPR3:
+    """Regression tests for defects found in review of the nest vectorizer."""
+
+    def test_pre_tile_load_of_origin_rejects_collapse(self):
+        # x = u[origin]; for i in [origin, min(origin+4, 8)): v[i] = x  — the
+        # load captured the *tile origin*; collapsing the pair to cell
+        # granularity would silently change what it reads, so the nest must
+        # fall back (and both engines must agree).
+        kernel = func.FuncOp(
+            "kernel", FunctionType([MemRefType([8], f64), MemRefType([8], f64)], [])
+        )
+        u, v = kernel.args
+        b = Builder.at_end(kernel.body.block)
+        zero = b.insert(arith.ConstantOp.from_int(0)).result
+        one = b.insert(arith.ConstantOp.from_int(1)).result
+        four = b.insert(arith.ConstantOp.from_int(4)).result
+        eight = b.insert(arith.ConstantOp.from_int(8)).result
+        loop = scf.ParallelOp([zero], [eight], [four])
+        outer = Builder.at_end(loop.body.block)
+        origin = loop.induction_variables[0]
+        hoisted = outer.insert(memref.LoadOp(u, [origin])).result
+        tile_end = outer.insert(arith.AddiOp(origin, four)).result
+        clamped = outer.insert(arith.MinSIOp(tile_end, eight)).result
+        inner_for = scf.ForOp(origin, clamped, one)
+        outer.insert(inner_for)
+        outer.insert(scf.YieldOp([]))
+        inner = Builder.at_end(inner_for.body.block)
+        inner.insert(memref.StoreOp(hoisted, v, [inner_for.induction_variable]))
+        inner.insert(scf.YieldOp([]))
+        b.insert(loop)
+        b.insert(func.ReturnOp([]))
+        module = builtin.ModuleOp([kernel])
+
+        fallback = compile_loop_nest_or_fallback(loop)
+        assert isinstance(fallback, VectorizeFallback)
+        assert "before the tile loop" in fallback.reason
+
+        data = np.arange(8, dtype=np.float64)
+        expected, observed = np.zeros(8), np.zeros(8)
+        Interpreter(module).call("kernel", data.copy(), expected)
+        Interpreter(module, kernel=compile_kernel(module, "kernel")).call(
+            "kernel", data.copy(), observed
+        )
+        assert np.array_equal(expected, observed)
+        assert np.array_equal(expected, [0, 0, 0, 0, 4, 4, 4, 4])
+
+    def test_reduce_count_mismatch_is_rejected(self):
+        # A result-less scf.parallel terminated by a value-carrying scf.reduce
+        # must fail verification and raise a clean InterpreterError, not an
+        # IndexError from the accumulator loop.
+        kernel = func.FuncOp("kernel", FunctionType([MemRefType([4], f64)], []))
+        b = Builder.at_end(kernel.body.block)
+        zero = b.insert(arith.ConstantOp.from_int(0)).result
+        one = b.insert(arith.ConstantOp.from_int(1)).result
+        four = b.insert(arith.ConstantOp.from_int(4)).result
+        loop = scf.ParallelOp([zero], [four], [one])  # no init values
+        inner = Builder.at_end(loop.body.block)
+        value = inner.insert(memref.LoadOp(kernel.args[0], [loop.induction_variables[0]])).result
+        inner.insert(scf.ReduceOp.combining(value, arith.AddfOp))
+        b.insert(loop)
+        b.insert(func.ReturnOp([]))
+        module = builtin.ModuleOp([kernel])
+
+        from repro.ir.verifier import VerificationError
+
+        with pytest.raises(VerificationError, match="one value per"):
+            module.verify()
+        from repro.interp import InterpreterError
+
+        with pytest.raises(InterpreterError, match="init values"):
+            Interpreter(module).call("kernel", np.zeros(4))

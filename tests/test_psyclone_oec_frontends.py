@@ -184,3 +184,62 @@ class TestOECBuilder:
         Interpreter(module).call("kernel", left, right, 1)
         expected = left[0:6] + left[2:8]
         assert np.allclose(right[1:7], expected)
+
+
+MASKED_KERNEL = """
+subroutine masked_smooth(out, field)
+  do k = 1, nz
+    do j = 1, ny
+      do i = 1, nx
+        out(i, j, k) = merge(0.5 * (field(i+1, j, k) - field(i-1, j, k)), 0.25 * field(i, j, k), field(i, j, k) > 0.5)
+      end do
+    end do
+  end do
+end subroutine
+"""
+
+
+class TestMaskedKernelParsing:
+    def test_merge_parses_into_merge_and_comparison_nodes(self):
+        from repro.frontends.psyclone import BinaryOperation, Comparison, Merge
+
+        schedule = parse_fortran(MASKED_KERNEL)
+        assignment = schedule.walk(Assignment)[0]
+        merge = assignment.rhs
+        assert isinstance(merge, Merge)
+        assert isinstance(merge.true_value, BinaryOperation)
+        condition = merge.condition
+        assert isinstance(condition, Comparison)
+        assert condition.operator == ">"
+        assert isinstance(condition.lhs, ArrayReference)
+        assert schedule.walk(Merge) and schedule.walk(Comparison)
+
+    @pytest.mark.parametrize("operator", [">", "<", ">=", "<=", "==", "/="])
+    def test_all_comparison_operators_parse(self, operator):
+        from repro.frontends.psyclone import Comparison
+
+        source = MASKED_KERNEL.replace(">", operator, 1) if operator != ">" else MASKED_KERNEL
+        schedule = parse_fortran(source)
+        comparison = schedule.walk(Comparison)[0]
+        assert comparison.operator == operator
+
+    def test_masked_inputs_collected_through_merge(self):
+        schedule = parse_fortran(MASKED_KERNEL)
+        stencils = extract_stencils(schedule)
+        assert stencils[0].inputs == ["field"]
+        assert stencils[0].halo() == 1
+
+    def test_masked_compiled_kernel_matches_reference(self):
+        schedule = parse_fortran(MASKED_KERNEL)
+        shape = (6, 6, 4)
+        module = PsycloneXDSLBackend(dtype=np.float64).build_module(schedule, shape)
+        module.verify()
+        rng = np.random.default_rng(23)
+        full = tuple(s + 2 for s in shape)
+        out = np.zeros(full)
+        field = rng.random(full)
+        reference = {"out": out.copy(), "field": field.copy()}
+        reference_execute(schedule, reference, halo=1, iterations=1)
+        compiled_out, compiled_field = out.copy(), field.copy()
+        Interpreter(module).call("masked_smooth", compiled_out, compiled_field, 1)
+        assert np.allclose(reference["out"], compiled_out)

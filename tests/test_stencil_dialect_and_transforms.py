@@ -236,3 +236,26 @@ class TestHLSLowering:
         infos = lower_stencil_to_hls(initial_module, optimize=False)
         assert not infos[0].pipelined
         assert infos[0].initiation_interval == infos[0].stencil_points == 3
+
+
+class TestTileLoopTagging:
+    def test_tiled_lowering_tags_every_intra_tile_loop(self):
+        from repro.ir.attributes import IntAttr
+
+        module = build_jacobi_module()
+        lower_stencil_to_scf(module, tile_sizes=[3])
+        tagged = [
+            op for op in module.walk()
+            if isinstance(op, scf.ForOp) and "tile_dim" in op.attributes
+        ]
+        assert len(tagged) == 1  # 1-D jacobi: one intra-tile loop per apply
+        attr = tagged[0].attributes["tile_dim"]
+        assert isinstance(attr, IntAttr) and attr.data == 0
+
+    def test_untiled_lowering_has_no_tile_tags(self):
+        module = build_jacobi_module()
+        lower_stencil_to_scf(module)
+        assert not any(
+            "tile_dim" in op.attributes
+            for op in module.walk() if isinstance(op, scf.ForOp)
+        )
