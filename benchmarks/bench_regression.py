@@ -2,10 +2,11 @@
 """The bench-regression CI gate.
 
 Runs the execution-backend speedup benchmarks
-(``benchmarks/test_backend_speedup.py``) and the fig. 8 strong-scaling smoke,
-collects every measured row into a ``BENCH_pr.json`` artifact
-(kernel, shape, backend, wall time, speedup), and **fails** (exit code 1)
-when any measured speedup drops below the floors committed in
+(``benchmarks/test_backend_speedup.py``) and the fig. 8 strong-scaling
+smokes — the flat 4-process one and the hybrid 2-ranks-x-2-threads one —
+collects every measured row into a ``BENCH_pr.json`` artifact (kernel,
+shape, backend, rank/thread shape, wall time, speedup), and **fails**
+(exit code 1) when any measured speedup drops below the floors committed in
 ``benchmarks/baseline.json``.
 
 Usage (CI runs exactly this, offline — every dependency is installed by the
@@ -15,9 +16,9 @@ job's install step, nothing is fetched here)::
 
 ``--floor-scale`` multiplies every baseline floor; it exists to *verify the
 gate itself*: ``--floor-scale 1e6`` must make the run fail, proving a
-synthetic regression is caught.  The strong-scaling smoke needs >= 4 usable
-cores and an available process runtime; where it skips, its row is recorded
-as skipped and its (optional) floor is not enforced.
+synthetic regression is caught.  The strong-scaling smokes need >= 4 usable
+cores and an available process runtime; where they skip, their rows are
+recorded as skipped and their (optional) floors are not enforced.
 """
 
 from __future__ import annotations
@@ -34,6 +35,10 @@ BENCHMARKS = os.path.join(REPO_ROOT, "benchmarks")
 SMOKE_TEST = (
     "benchmarks/test_fig08_strong_scaling.py::"
     "test_process_runtime_strong_scaling_smoke"
+)
+HYBRID_SMOKE_TEST = (
+    "benchmarks/test_fig08_strong_scaling.py::"
+    "test_hybrid_strong_scaling_smoke"
 )
 
 
@@ -77,16 +82,20 @@ def run_speedup_benchmarks() -> tuple[list[dict], int]:
             os.unlink(report_path)
 
 
-def run_strong_scaling_smoke() -> tuple[dict | None, int]:
-    """Run the fig. 8 smoke; return its row (None when skipped) and exit code."""
+def run_smoke(test_id: str, row_env: str) -> tuple[dict | None, int]:
+    """Run one fig. 8 smoke test; return its row (None if skipped) and exit code.
+
+    ``row_env`` names the environment variable through which the test writes
+    its measured row (the rank/thread shape travels inside the row itself).
+    """
     with tempfile.NamedTemporaryFile(suffix=".json", delete=False) as handle:
         smoke_path = handle.name
     os.unlink(smoke_path)  # only exists if the smoke actually measured
     env = _environment()
-    env["BENCH_SMOKE_JSON"] = smoke_path
+    env[row_env] = smoke_path
     try:
         proc = subprocess.run(
-            [sys.executable, "-m", "pytest", SMOKE_TEST, "-q", "-s"],
+            [sys.executable, "-m", "pytest", test_id, "-q", "-s"],
             cwd=REPO_ROOT,
             env=env,
             capture_output=True,
@@ -123,12 +132,25 @@ def main() -> int:
     optional = set(baseline.get("optional", []))
 
     rows, speedup_rc = run_speedup_benchmarks()
-    smoke_row, smoke_rc = run_strong_scaling_smoke()
-    smoke_skipped = smoke_row is None and smoke_rc == 0
-    if smoke_row is not None:
-        rows.append(smoke_row)
-    elif smoke_skipped:
-        rows.append({"kernel": "process-strong-scaling", "skipped": True})
+    smoke_failures = []
+    for kernel, test_id, row_env, ranks, threads in (
+        ("process-strong-scaling", SMOKE_TEST, "BENCH_SMOKE_JSON", [2, 2], 1),
+        ("hybrid-strong-scaling", HYBRID_SMOKE_TEST,
+         "BENCH_HYBRID_SMOKE_JSON", [2, 1], 2),
+    ):
+        smoke_row, smoke_rc = run_smoke(test_id, row_env)
+        smoke_skipped = smoke_row is None and smoke_rc == 0
+        if smoke_row is not None:
+            # Every smoke row records its rank/thread shape so BENCH_pr.json
+            # identifies which hybrid configuration produced the number.
+            smoke_row.setdefault("ranks", ranks)
+            smoke_row.setdefault("threads_per_rank", threads)
+            rows.append(smoke_row)
+        elif smoke_skipped:
+            rows.append({"kernel": kernel, "skipped": True,
+                         "ranks": ranks, "threads_per_rank": threads})
+        if smoke_rc != 0 and not smoke_skipped:
+            smoke_failures.append(f"{kernel} smoke failed (see output above)")
 
     artifact = {
         "baseline": args.baseline,
@@ -139,11 +161,9 @@ def main() -> int:
         json.dump(artifact, handle, indent=2)
     print(f"\nwrote {len(rows)} rows to {args.output}")
 
-    failures: list[str] = []
+    failures: list[str] = list(smoke_failures)
     if speedup_rc != 0:
         failures.append("backend-speedup benchmarks failed (see output above)")
-    if smoke_rc != 0 and not smoke_skipped:
-        failures.append("strong-scaling smoke failed (see output above)")
 
     measured = {row["kernel"]: row for row in rows if "speedup" in row}
     for kernel, floor in sorted(floors.items()):

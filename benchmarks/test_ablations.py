@@ -10,7 +10,6 @@
 import numpy as np
 import pytest
 
-from bench_helpers import attach_rows
 from repro.core import Target, TargetKind, compile_stencil_program, dmp_target, run_distributed
 from repro.transforms.distribute import GridSlicingStrategy, communicated_elements_per_step
 from repro.workloads import heat_diffusion, pw_advection

@@ -1,9 +1,12 @@
 """Figure 11: strong scaling of xDSL-PSyclone (PW and tracer advection, 2D decomposition)."""
 
+import numpy as np
 import pytest
 
 from bench_helpers import attach_rows
+from repro.core import compile_stencil_program, dmp_target, run_distributed
 from repro.evaluation import figure11_psyclone_scaling
+from repro.workloads import masked_tracer_advection
 
 
 @pytest.mark.benchmark(group="figure11")
@@ -16,3 +19,42 @@ def test_figure11_rows(benchmark):
         # Monotone growth but far from ideal at 128 nodes (small global problem).
         assert all(b >= a for a, b in zip(throughputs, throughputs[1:]))
         assert throughputs[-1] / throughputs[0] < 128 * 0.5
+
+
+@pytest.mark.parametrize(
+    "rank_grid,threads_per_rank",
+    [((2, 1, 1), 1), ((2, 1, 1), 2), ((2, 2, 1), 1), ((2, 2, 1), 2)],
+    ids=["2ranksx1t", "2ranksx2t", "4ranksx1t", "4ranksx2t"],
+)
+def test_fig11_hybrid_tracer_execution(rank_grid, threads_per_rank):
+    """Hybrid (ranks x threads) execution of the fig. 11 tracer kernel.
+
+    The real distributed run of the masked NEMO tracer-advection workload
+    across the paper's hybrid sweep shapes: every configuration must produce
+    bit-identical fields and matching communication statistics.
+    """
+    workload = masked_tracer_advection((10, 10, 6), iterations=2, computations=4)
+    module = workload.build_module(dtype=np.float64)
+    reference_program = compile_stencil_program(
+        workload.build_module(dtype=np.float64), dmp_target((2, 1, 1))
+    )
+    names = workload.schedule.array_names()
+    source = workload.arrays(halo=1, dtype=np.float64, seed=11)
+
+    reference = [source[name].copy() for name in names]
+    run_distributed(
+        reference_program, reference, [workload.iterations],
+        function=workload.schedule.name, runtime="threads",
+    )
+
+    program = compile_stencil_program(module, dmp_target(rank_grid))
+    fields = [source[name].copy() for name in names]
+    result = run_distributed(
+        program, fields, [workload.iterations],
+        function=workload.schedule.name,
+        runtime="threads", threads_per_rank=threads_per_rank,
+    )
+    assert result.threads_per_rank == threads_per_rank
+    assert result.messages_sent > 0
+    for a, b in zip(reference, fields):
+        assert np.array_equal(a, b)

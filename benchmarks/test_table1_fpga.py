@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from bench_helpers import attach_rows
-from repro.core import compile_stencil_program, cpu_target, fpga_target
+from repro.core import compile_stencil_program, fpga_target
 from repro.evaluation import table1_fpga
 from repro.workloads import pw_advection
 

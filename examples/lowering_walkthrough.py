@@ -7,7 +7,6 @@ halo-exchange and message-passing detail is visible.
 Run with:  python examples/lowering_walkthrough.py
 """
 
-from repro.core import compile_stencil_program, dmp_target
 from repro.dialects.dmp import SwapOp
 from repro.dialects.mpi import IsendOp, IrecvOp, WaitallOp
 from repro.frontends.oec import StencilProgramBuilder

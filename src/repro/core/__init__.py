@@ -14,6 +14,7 @@ from .executor import (
     ExecutionError,
     ExecutionResult,
     gather_field,
+    local_field_slices,
     run_distributed,
     run_local,
     scatter_field,
@@ -34,6 +35,7 @@ __all__ = [
     "cpu_target", "smp_target", "dmp_target", "gpu_target", "fpga_target",
     "CompiledProgram", "compile_stencil_program", "CompilationError",
     "run_local", "run_distributed", "scatter_field", "gather_field",
+    "local_field_slices",
     "ExecutionResult", "ExecutionError", "EXECUTION_BACKENDS",
     "EXECUTION_RUNTIMES",
 ]

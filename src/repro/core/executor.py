@@ -89,6 +89,9 @@ class ExecutionResult:
     #: The runtime that actually executed: "local", "threads" or "processes"
     #: (reflects the automatic fallback, not just the request).
     runtime: str = "local"
+    #: Intra-rank thread-team size of the run (the OpenMP level of the
+    #: paper's hybrid MPI+OpenMP configurations; 1 = flat runs).
+    threads_per_rank: int = 1
 
     @property
     def total_cells_updated(self) -> int:
@@ -99,15 +102,15 @@ class ExecutionResult:
         return sum(stat.halo_swaps for stat in self.statistics)
 
 
-def scatter_field(
+def local_field_slices(
     global_array: np.ndarray,
     strategy: DecompositionStrategy,
     rank: int,
     halo_lower: Sequence[int],
     halo_upper: Sequence[int],
     margin: Sequence[int],
-) -> np.ndarray:
-    """Extract one rank's local buffer (core slab + halo) from a global array.
+) -> tuple[slice, ...]:
+    """The global-array region holding one rank's local buffer (core + halo).
 
     ``margin`` is the number of ghost/boundary cells the global array carries
     in front of compute index 0 along each dimension (at least the halo width,
@@ -127,7 +130,31 @@ def scatter_field(
                 f"global array margin {margin[dim]} along dimension {dim}"
             )
         slices.append(slice(lower, upper))
-    return np.array(global_array[tuple(slices)], copy=True)
+    return tuple(slices)
+
+
+def scatter_field(
+    global_array: np.ndarray,
+    strategy: DecompositionStrategy,
+    rank: int,
+    halo_lower: Sequence[int],
+    halo_upper: Sequence[int],
+    margin: Sequence[int],
+    out: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """Extract one rank's local buffer (core slab + halo) from a global array.
+
+    With ``out`` the slab is written straight into the given buffer — the
+    process runtime passes a shared-memory view here, so the field reaches
+    the workers with a single copy (the copy-elision path).
+    """
+    region = global_array[
+        local_field_slices(global_array, strategy, rank, halo_lower, halo_upper, margin)
+    ]
+    if out is None:
+        return np.array(region, copy=True)
+    out[...] = region
+    return out
 
 
 def gather_field(
@@ -184,6 +211,7 @@ def run_distributed(
     timeout: float = 60.0,
     backend: str = "auto",
     runtime: str = "threads",
+    threads_per_rank: int = 1,
 ) -> ExecutionResult:
     """Run a distributed compiled program on the simulated MPI world.
 
@@ -194,7 +222,16 @@ def run_distributed(
     the vectorized kernel is compiled once per process and shared by all
     ranks.  ``runtime`` selects thread-ranks or OS-process-ranks (see
     :data:`EXECUTION_RUNTIMES`); both produce bit-identical fields and
-    matching communication statistics.
+    matching communication statistics.  ``threads_per_rank`` adds the OpenMP
+    level of the paper's hybrid configurations: each rank runs its vectorized
+    nests on an intra-rank thread team of that size (bit-identical to
+    ``threads_per_rank=1``; only wall-clock time changes).
+
+    Under ``runtime="processes"`` the per-rank buffers live in pooled
+    ``multiprocessing.shared_memory`` blocks: fields are scattered straight
+    into (and gathered straight out of) the blocks, and the blocks are
+    recycled across repeated runs — see ``CommStatistics.bytes_elided`` and
+    ``.shared_blocks_reused`` on the result.
     """
     if program.distribution is None or program.target.rank_grid is None:
         raise ExecutionError("program was not compiled for a distributed target")
@@ -203,6 +240,9 @@ def run_distributed(
             f"unknown execution runtime {runtime!r}; expected one of "
             f"{', '.join(EXECUTION_RUNTIMES)}"
         )
+    threads_per_rank = int(threads_per_rank)
+    if threads_per_rank < 1:
+        raise ExecutionError("threads_per_rank must be at least 1")
     function_name = function or _default_function(program)
     if runtime == "processes" and not _process_runtime.processes_available():
         runtime = "threads"  # automatic fallback: same semantics, one process
@@ -224,30 +264,29 @@ def run_distributed(
     if margin is None:
         margin = halo_lower
 
-    local_fields: list[list[np.ndarray]] = []
-    for rank in range(strategy.rank_count):
-        local_fields.append(
+    if runtime == "processes":
+        statistics, comm_statistics = _run_spmd_shared_memory(
+            program, function_name, backend, global_fields, scalar_arguments,
+            strategy, halo_lower, halo_upper, margin, timeout, threads_per_rank,
+        )
+    else:
+        local_fields = [
             [
                 scatter_field(field, strategy, rank, halo_lower, halo_upper, margin)
                 for field in global_fields
             ]
-        )
-
-    if runtime == "processes":
-        statistics, comm_statistics = _process_runtime.run_program_processes(
-            program, function_name, backend, local_fields, scalar_arguments,
-            timeout=timeout,
-        )
-    else:
+            for rank in range(strategy.rank_count)
+        ]
         statistics, comm_statistics = _run_spmd_threads(
-            program, function_name, kernel, local_fields, scalar_arguments, timeout
+            program, function_name, kernel, local_fields, scalar_arguments,
+            timeout, threads_per_rank,
         )
-
-    for rank in range(strategy.rank_count):
-        for global_array, local_array in zip(global_fields, local_fields[rank]):
-            gather_field(
-                global_array, local_array, strategy, rank, halo_lower, halo_upper, margin
-            )
+        for rank in range(strategy.rank_count):
+            for global_array, local_array in zip(global_fields, local_fields[rank]):
+                gather_field(
+                    global_array, local_array, strategy, rank,
+                    halo_lower, halo_upper, margin,
+                )
 
     return ExecutionResult(
         statistics=list(statistics),
@@ -255,7 +294,82 @@ def run_distributed(
         bytes_sent=comm_statistics.bytes_sent,
         comm_statistics=comm_statistics,
         runtime=runtime,
+        threads_per_rank=threads_per_rank,
     )
+
+
+def _run_spmd_shared_memory(
+    program: CompiledProgram,
+    function_name: str,
+    backend: str,
+    global_fields: Sequence[np.ndarray],
+    scalar_arguments: Sequence[Any],
+    strategy: GridSlicingStrategy,
+    halo_lower: Sequence[int],
+    halo_upper: Sequence[int],
+    margin: Sequence[int],
+    timeout: float,
+    threads_per_rank: int,
+) -> tuple[list[ExecStatistics], CommStatistics]:
+    """The process-runtime path with shared-memory copy elision.
+
+    Per-rank buffers are leased from the shared block pool, scattered into
+    directly, handed to the workers by name, and gathered from directly — no
+    intermediate per-rank arrays, no per-run block churn.
+    """
+    pool = _process_runtime.shared_field_pool()
+    leases: list[list] = []
+    try:
+        for rank in range(strategy.rank_count):
+            rank_leases: list = []
+            leases.append(rank_leases)
+            for field in global_fields:
+                rank_leases.append(
+                    _scatter_into_lease(field, pool, strategy, rank,
+                                        halo_lower, halo_upper, margin)
+                )
+        bytes_elided = sum(
+            2 * lease.array.nbytes
+            for rank_leases in leases for lease in rank_leases
+        )
+        blocks_reused = sum(
+            1 for rank_leases in leases for lease in rank_leases if lease.reused
+        )
+        statistics, comm_statistics = _process_runtime.run_program_processes(
+            program, function_name, backend, leases, scalar_arguments,
+            timeout=timeout, threads_per_rank=threads_per_rank,
+        )
+        for rank in range(strategy.rank_count):
+            for global_array, lease in zip(global_fields, leases[rank]):
+                gather_field(
+                    global_array, lease.array, strategy, rank,
+                    halo_lower, halo_upper, margin,
+                )
+    finally:
+        for rank_leases in leases:
+            for lease in rank_leases:
+                lease.release()
+    comm_statistics.bytes_elided = bytes_elided
+    comm_statistics.shared_blocks_reused = blocks_reused
+    return statistics, comm_statistics
+
+
+def _scatter_into_lease(
+    field: np.ndarray,
+    pool,
+    strategy: GridSlicingStrategy,
+    rank: int,
+    halo_lower: Sequence[int],
+    halo_upper: Sequence[int],
+    margin: Sequence[int],
+):
+    """Lease a shared block for one rank's slab and scatter straight into it."""
+    slices = local_field_slices(field, strategy, rank, halo_lower, halo_upper, margin)
+    shape = tuple(s.stop - s.start for s in slices)
+    lease = pool.lease(shape, field.dtype)
+    scatter_field(field, strategy, rank, halo_lower, halo_upper, margin,
+                  out=lease.array)
+    return lease
 
 
 def _run_spmd_threads(
@@ -265,6 +379,7 @@ def _run_spmd_threads(
     local_fields: Sequence[Sequence[np.ndarray]],
     scalar_arguments: Sequence[Any],
     timeout: float,
+    threads_per_rank: int = 1,
 ) -> tuple[list[ExecStatistics], CommStatistics]:
     """Run every rank in a thread of this process (the GIL-shared world)."""
     size = len(local_fields)
@@ -272,7 +387,9 @@ def _run_spmd_threads(
     statistics: list[Optional[ExecStatistics]] = [None] * size
 
     def body(comm):
-        interpreter = Interpreter(program.module, comm=comm, kernel=kernel)
+        interpreter = Interpreter(
+            program.module, comm=comm, kernel=kernel, threads=threads_per_rank
+        )
         interpreter.call(
             function_name, *local_fields[comm.rank], *scalar_arguments
         )

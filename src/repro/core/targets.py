@@ -8,7 +8,7 @@ maps a target onto the appropriate sequence of lowering passes.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional, Sequence
 
 

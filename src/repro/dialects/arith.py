@@ -8,14 +8,7 @@ from ..ir.attributes import Attribute, FloatAttr, IntegerAttr, StringAttr, TypeA
 from ..ir.context import Dialect
 from ..ir.core import Operation, SSAValue
 from ..ir.traits import ConstantLike, Pure
-from ..ir.types import (
-    IndexType,
-    IntegerType,
-    i1,
-    index,
-    is_float_type,
-    is_integer_like,
-)
+from ..ir.types import i1, index, is_float_type, is_integer_like
 
 
 class ConstantOp(Operation):

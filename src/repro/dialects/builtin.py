@@ -7,7 +7,7 @@ from typing import Optional, Sequence
 from ..ir.attributes import Attribute, StringAttr, TypeAttribute
 from ..ir.builder import build_single_block_region
 from ..ir.context import Dialect
-from ..ir.core import Block, Operation, Region, SSAValue
+from ..ir.core import Operation, Region, SSAValue
 from ..ir.traits import IsolatedFromAbove, Pure
 
 

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from typing import Optional, Sequence
 
-from ..ir.attributes import IntAttr, StringAttr, UnitAttr
+from ..ir.attributes import StringAttr, UnitAttr
 from ..ir.context import Dialect
 from ..ir.core import Block, Operation, Region, SSAValue
 from ..ir.traits import IsTerminator, MemoryReadEffect, MemoryWriteEffect

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from typing import Optional, Sequence
 
-from ..ir.attributes import IntAttr, StringAttr, TypeAttribute, UnitAttr
+from ..ir.attributes import IntAttr, StringAttr, TypeAttribute
 from ..ir.context import Dialect
 from ..ir.core import Block, Operation, Region, SSAValue
 from ..ir.traits import IsTerminator

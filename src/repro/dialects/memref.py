@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from typing import Optional, Sequence
 
-from ..ir.attributes import DenseArrayAttr, IntAttr, StringAttr, TypeAttribute
+from ..ir.attributes import DenseArrayAttr, StringAttr
 from ..ir.context import Dialect
 from ..ir.core import Operation, SSAValue
 from ..ir.traits import MemoryReadEffect, MemoryWriteEffect, Pure

@@ -10,7 +10,7 @@ lowering in the paper) or executed directly on the simulated MPI runtime.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Optional
 
 from ..ir.attributes import IntAttr, StringAttr, TypeAttribute
 from ..ir.context import Dialect

@@ -21,7 +21,7 @@ from typing import Iterable, Optional, Sequence
 from ..ir.attributes import Attribute, DenseArrayAttr, IntAttr, TypeAttribute
 from ..ir.builder import build_single_block_region
 from ..ir.context import Dialect
-from ..ir.core import Block, BlockArgument, Operation, Region, SSAValue
+from ..ir.core import BlockArgument, Operation, Region, SSAValue
 from ..ir.traits import IsTerminator, MemoryReadEffect, MemoryWriteEffect, Pure
 from ..ir.types import Float32Type, Float64Type, IndexType, IntegerType, i64, index
 

@@ -16,11 +16,10 @@ the quantities of interest.
 from __future__ import annotations
 
 from dataclasses import replace
-from typing import Iterable, Optional, Sequence
+from typing import Iterable, Sequence
 
 import numpy as np
 
-from ..frontends.psyclone import PsycloneXDSLBackend
 from ..machine import (
     ALVEO_U280,
     ARCHER2_NODE,

@@ -327,6 +327,7 @@ class Operator:
         backend: str = "xdsl",
         target: Optional[Target] = None,
         runtime: str = "threads",
+        threads_per_rank: int = 1,
         name: str = "kernel",
     ):
         if isinstance(equations, Eq):
@@ -341,6 +342,9 @@ class Operator:
         #: Distributed execution runtime ("threads" or "processes"); only
         #: consulted when the target is distributed.
         self.runtime = runtime
+        #: Intra-rank thread-team size (the OpenMP level of the hybrid
+        #: MPI+OpenMP configurations); only consulted when distributed.
+        self.threads_per_rank = threads_per_rank
         self.name = name
         self._compiled: Optional[CompiledProgram] = None
         self._compiled_dt: Optional[float] = None
@@ -386,6 +390,7 @@ class Operator:
             run_distributed(
                 program, arguments, [int(time)],
                 function=self.name, runtime=self.runtime,
+                threads_per_rank=self.threads_per_rank,
             )
         else:
             run_local(program, [*arguments, int(time)], function=self.name)

@@ -22,7 +22,7 @@ from __future__ import annotations
 import math as _math
 from dataclasses import dataclass
 from functools import lru_cache
-from typing import Iterable, Optional, Sequence, Union
+from typing import Optional, Sequence, Union
 
 import numpy as np
 

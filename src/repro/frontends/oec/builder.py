@@ -10,7 +10,7 @@ hand-written stencil programs concisely.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Optional, Sequence
+from typing import Callable, Sequence
 
 from ...dialects import arith, builtin, func, scf, stencil
 from ...ir import Builder, FunctionType, SSAValue, f32, f64, index

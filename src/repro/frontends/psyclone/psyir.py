@@ -8,7 +8,7 @@ reference numpy evaluator used as the "native PSyclone" numerical oracle.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional, Sequence, Union
+from typing import Optional
 
 import numpy as np
 

@@ -25,16 +25,10 @@ import numpy as np
 
 from ..dialects import arith, builtin, dmp, func, gpu, hls, memref, mpi, omp, scf, stencil
 from ..ir.attributes import FloatAttr, IntegerAttr
-from ..ir.core import Block, BlockArgument, Operation, SSAValue
-from ..ir.types import IntegerType, is_float_type
+from ..ir.core import Block, Operation, SSAValue
+from ..ir.types import IntegerType
 from .mpi_runtime import CommunicatorBase
-from .values import (
-    DataTypeValue,
-    MemRefValue,
-    PointerValue,
-    RequestHandle,
-    numpy_dtype_for,
-)
+from .values import DataTypeValue, MemRefValue, PointerValue, RequestHandle
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from .vectorize import CompiledKernel
@@ -57,6 +51,9 @@ class ExecStatistics:
     halo_elements_exchanged: int = 0
     mpi_messages: int = 0
     cells_updated: int = 0
+    #: Halo exchanges whose completion was deferred past interior compute
+    #: (the communication/computation overlap of the hybrid runtime).
+    halo_swaps_overlapped: int = 0
 
 
 class _ReturnSignal(Exception):
@@ -76,6 +73,72 @@ def handler(op_name: str) -> Callable[[Handler], Handler]:
         return fn
 
     return register
+
+
+class _HaloReceive:
+    """One posted-but-uncompleted receive of an overlapped halo exchange."""
+
+    __slots__ = ("request", "buffer", "recv_slice", "elements", "axis")
+
+    def __init__(self, request, buffer, recv_slice, elements: int, axis: int):
+        self.request = request
+        self.buffer = buffer
+        self.recv_slice = recv_slice
+        self.elements = elements
+        self.axis = axis
+
+
+class PendingHalo:
+    """A ``dmp.swap`` whose receives are still in flight.
+
+    The sends were posted (buffered, so the payload is already captured) and
+    one non-blocking receive per neighbor was issued into a staging buffer;
+    :meth:`complete` waits for them and writes the staged halos into the
+    array.  While the object sits on ``Interpreter.pending_halos``, the
+    vectorized backend may compute any region it can prove independent of the
+    ``recv_slice`` boxes — that is the communication/computation overlap of
+    the hybrid runtime.
+    """
+
+    __slots__ = ("array", "items")
+
+    def __init__(self, array: np.ndarray, items: list[_HaloReceive]):
+        self.array = array
+        self.items = items
+
+    def complete(self, interp: "Interpreter") -> None:
+        comm = interp.require_comm()
+        for item in self.items:
+            comm.wait(item.request)
+            self.array[item.recv_slice] = item.buffer
+            interp.stats.halo_elements_exchanged += item.elements
+
+
+#: Operations that provably cannot observe array *contents*, so pending halo
+#: receives may stay in flight across them: scalar/index arithmetic, value
+#: plumbing, the structural loop roots whose handlers manage completion
+#: themselves through ``try_vectorized``, the pure-counter OpenMP
+#: synchronization ops, and ``dmp.swap`` itself (its handler completes
+#: exactly the prefix of pending halos its buffer depends on) — without the
+#: last three, every multi-field omp-lowered kernel would force-complete its
+#: halos between the nest and the next swap and the overlap would be inert.
+_HALO_TRANSPARENT_OPS = frozenset(
+    {
+        "builtin.unrealized_conversion_cast",
+        "memref.cast",
+        "memref.subview",
+        "memref.dim",
+        "omp.parallel",
+        "omp.wsloop",
+        "omp.barrier",
+        "omp.terminator",
+        "scf.parallel",
+        "scf.for",
+        "scf.yield",
+        "omp.yield",
+        "dmp.swap",
+    }
+)
 
 
 class RequestArray:
@@ -106,12 +169,21 @@ class Interpreter:
         *,
         comm: Optional[CommunicatorBase] = None,
         kernel: Optional["CompiledKernel"] = None,
+        threads: int = 1,
+        overlap_halos: bool = True,
     ):
         self.module = module
         self.comm = comm
         #: Vectorized nests (from repro.interp.vectorize) consulted before
         #: tree-walking a loop; None runs everything through the tree walker.
         self.kernel = kernel
+        #: Intra-rank thread-team size (the OpenMP level of the hybrid
+        #: runtime); teams only accelerate the vectorized backend.
+        self.threads = max(1, int(threads))
+        #: Defer halo-receive completion past independent interior compute.
+        self.overlap_halos = overlap_halos
+        #: Posted-but-uncompleted halo exchanges (see :class:`PendingHalo`).
+        self.pending_halos: list[PendingHalo] = []
         self.stats = ExecStatistics()
         self.functions: dict[str, func.FuncOp] = {}
         for op in module.walk():
@@ -139,7 +211,9 @@ class Interpreter:
         try:
             self._run_ops(block, env)
         except _ReturnSignal as signal:
+            self.complete_pending_halos()
             return signal.values
+        self.complete_pending_halos()
         return []
 
     # -- core evaluation ----------------------------------------------------------
@@ -167,6 +241,12 @@ class Interpreter:
     def _eval(self, op: Operation, env: dict) -> Optional[list[Any]]:
         self.stats.ops_executed += 1
         name = op.name
+        if self.pending_halos and not (
+            name in _HALO_TRANSPARENT_OPS or name.startswith("arith.")
+        ):
+            # Any operation that could observe array contents forces the
+            # in-flight halo receives to land first (blocking semantics).
+            self.complete_pending_halos()
         if name in ("scf.yield", "omp.yield", "hls.yield", "stencil.return"):
             return [self.get(env, operand) for operand in op.operands]
         if name == "func.return":
@@ -186,11 +266,64 @@ class Interpreter:
         counted); False requests the per-cell tree walk.
         """
         if self.kernel is None:
-            return False
-        nest = self.kernel.nest_for(op)
+            nest = None
+        else:
+            nest = self.kernel.nest_for(op)
         if nest is None:
+            # About to tree-walk (or not a compiled nest at all): the walker
+            # reads cells one by one, so every halo must have landed.
+            self.complete_pending_halos()
             return False
-        return nest.execute(self, env)
+        executed = nest.execute(self, env)
+        if not executed:
+            self.complete_pending_halos()
+        return executed
+
+    # -- halo overlap -----------------------------------------------------------
+    @property
+    def thread_team(self):
+        """The intra-rank worker team, or None when running single-threaded."""
+        if self.threads <= 1:
+            return None
+        from .thread_team import get_thread_team
+
+        return get_thread_team(self.threads)
+
+    def complete_pending_halos(self, overlapped: bool = False) -> None:
+        """Wait for every in-flight halo receive and write it into its field.
+
+        ``overlapped=True`` marks the completion as having been deferred past
+        interior compute (called by the vectorized backend's overlap path),
+        which is counted in :attr:`ExecStatistics.halo_swaps_overlapped`.
+        """
+        if not self.pending_halos:
+            return
+        pending, self.pending_halos = self.pending_halos, []
+        for halo in pending:
+            halo.complete(self)
+            if overlapped:
+                self.stats.halo_swaps_overlapped += 1
+
+    def complete_pending_halos_touching(self, array: np.ndarray) -> None:
+        """Complete the posting-order *prefix* of halos that ``array`` needs.
+
+        Receives are matched by ``(source, tag)`` FIFO, not by request
+        identity, and different swaps reuse the same direction tags — so
+        completing a later halo before an earlier one on the same channel
+        would steal the earlier one's payload.  Completing the whole prefix
+        up to the last memory-overlapping halo preserves the channel order;
+        unrelated halos posted after it stay in flight.
+        """
+        last = -1
+        for index, halo in enumerate(self.pending_halos):
+            if halo.array is array or np.shares_memory(halo.array, array):
+                last = index
+        if last < 0:
+            return
+        prefix = self.pending_halos[: last + 1]
+        self.pending_halos = self.pending_halos[last + 1 :]
+        for halo in prefix:
+            halo.complete(self)
 
     # -- memory / pointer plumbing ---------------------------------------------------
     def register_buffer(self, array: np.ndarray) -> int:
@@ -904,9 +1037,23 @@ def _travel_tag(exchange: dmp.ExchangeAttr, sending: bool) -> int:
 
 @handler("dmp.swap")
 def _run_swap(interp: Interpreter, op: Operation, env: dict) -> None:
+    """Halo exchange: post sends and non-blocking receives, defer completion.
+
+    The sends are buffered (the payload is copied out immediately), one
+    ``irecv`` per neighbor lands in a staging buffer, and the whole exchange
+    is parked on :attr:`Interpreter.pending_halos`: the following compute
+    nest may then overlap its interior with the in-flight messages (see
+    :meth:`repro.interp.vectorize.CompiledNest.execute`).  With
+    ``overlap_halos=False`` the receives complete right here, reproducing the
+    classic blocking discipline — both orders write the same bytes, so the
+    results are bit-identical either way.
+    """
     assert isinstance(op, dmp.SwapOp)
     data = interp.get(env, op.data)
     array = interp.as_array(data)
+    # The op is halo-transparent (unrelated in-flight halos survive it), but
+    # anything this buffer depends on must land before its slices are read.
+    interp.complete_pending_halos_touching(array)
     interp.stats.halo_swaps += 1
     if interp.comm is None or interp.comm.size == 1:
         return
@@ -927,11 +1074,21 @@ def _run_swap(interp: Interpreter, op: Operation, env: dict) -> None:
     for payload, neighbor, tag in sends:
         comm.isend(payload, neighbor, tag)
         interp.stats.mpi_messages += 1
+    items = []
     for recv_slice, neighbor, tag, exchange in receives:
         buffer = np.empty(exchange.size, dtype=array.dtype)
-        comm.recv(buffer, neighbor, tag)
-        array[recv_slice] = buffer
-        interp.stats.halo_elements_exchanged += exchange.element_count()
+        request = comm.irecv(buffer, neighbor, tag)
+        axis = next(
+            (d for d, off in enumerate(exchange.neighbor) if off != 0), 0
+        )
+        items.append(
+            _HaloReceive(request, buffer, recv_slice, exchange.element_count(), axis)
+        )
+    halo = PendingHalo(array, items)
+    if interp.overlap_halos:
+        interp.pending_halos.append(halo)
+    else:
+        halo.complete(interp)
 
 
 # ---------------------------------------------------------------------------

@@ -43,18 +43,34 @@ class MPIRuntimeError(Exception):
 
 @dataclass
 class CommStatistics:
-    """Per-world communication counters."""
+    """Per-world communication counters.
+
+    The ``bytes_elided`` / ``shared_blocks_reused`` pair describes the
+    process runtime's shared-memory copy elision (fields scattered into and
+    gathered out of the ``multiprocessing.shared_memory`` blocks directly,
+    blocks recycled across runs).  They are *excluded from equality* because
+    they measure a transport property of one runtime, not the program's
+    communication behaviour — the thread and process worlds must still
+    compare equal on everything the program itself caused.
+    """
 
     messages_sent: int = 0
     bytes_sent: int = 0
     collectives: int = 0
     barriers: int = 0
+    #: Field bytes that were *not* memcpy'd thanks to scatter/gather reading
+    #: and writing the shared-memory blocks directly (process runtime only).
+    bytes_elided: int = field(default=0, compare=False)
+    #: Shared-memory blocks recycled from a previous run instead of allocated.
+    shared_blocks_reused: int = field(default=0, compare=False)
 
     def reset(self) -> None:
         self.messages_sent = 0
         self.bytes_sent = 0
         self.collectives = 0
         self.barriers = 0
+        self.bytes_elided = 0
+        self.shared_blocks_reused = 0
 
 
 class SimRequest:

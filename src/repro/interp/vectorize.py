@@ -53,7 +53,7 @@ import numpy as np
 
 from ..dialects import arith, func, memref, omp, scf
 from ..ir.attributes import FloatAttr, IntegerAttr
-from ..ir.core import BlockArgument, Operation, SSAValue
+from ..ir.core import Operation, SSAValue
 from ..ir.types import IndexType, IntegerType, is_float_type
 
 
@@ -216,11 +216,16 @@ _REDUCE_UFUNCS = {
 _Ref = tuple
 
 
+#: A nest smaller than this (in iteration-space cells) is not worth spreading
+#: over a thread team: the dispatch overhead would exceed the NumPy work.
+_TEAM_MIN_CELLS = 4096
+
+
 class CompiledNest:
     """One vectorizable loop nest, compiled to NumPy slice expressions."""
 
     __slots__ = ("bounds", "instrs", "count_bounds", "rank", "op_name",
-                 "last_fallback")
+                 "has_reduce", "last_fallback")
 
     def __init__(
         self,
@@ -240,6 +245,9 @@ class CompiledNest:
         self.count_bounds = count_bounds
         self.rank = len(bounds)
         self.op_name = op_name
+        #: Reductions fold in iteration order, so they can be neither chunked
+        #: over a thread team nor split into overlap phases.
+        self.has_reduce = any(instr[0] == "reduce" for instr in instrs)
         #: Why the most recent :meth:`execute` bounced (None after a success).
         self.last_fallback: Optional[VectorizeFallback] = None
 
@@ -250,10 +258,57 @@ class CompiledNest:
         A ``False`` return leaves every buffer untouched, so the caller can
         safely re-run the nest through the tree walker;
         :attr:`last_fallback` then says why.
+
+        Two optional execution structures layer on top of the plain
+        prepare-then-commit path, both bit-identical to it:
+
+        * **thread team** — when the interpreter carries an intra-rank
+          :class:`~repro.interp.thread_team.ThreadTeam`, the outermost
+          dimension is split into per-thread chunks whose preparation (loads
+          and element-wise math) runs concurrently; every chunk finishes
+          preparing before any chunk commits, preserving the
+          all-loads-then-all-stores semantics;
+        * **halo overlap** — when the interpreter holds pending (posted but
+          uncompleted) halo receives, the iteration space is partitioned into
+          an interior box whose loads provably avoid the in-flight halo
+          regions and up to ``2 * rank`` boundary strips: the interior is
+          prepared and committed while the messages travel, the receives are
+          then completed, and the strips finish afterwards.
         """
+        pending_halos = list(getattr(interp, "pending_halos", ()))
         try:
-            plan = self._prepare(interp, env)
+            dims = self._concrete_dims(env, self.bounds)
+            cells = self._cell_count(env)
+            resolved = self._resolve_regions(interp, env, dims)
+            loads, stores, regions = resolved
+            if not self._aliasing_is_safe(loads, stores, regions):
+                raise _Bailout(
+                    "aliasing stores: load/store regions overlap between "
+                    "cells, so per-cell execution order is observable"
+                )
+            overlap = None
+            if pending_halos:
+                plan = self._plan_overlap(env, dims, resolved, pending_halos)
+                if plan is None:
+                    # The split cannot be proven safe: fall back to the
+                    # blocking discipline before touching any data.
+                    interp.complete_pending_halos()
+                elif plan != "defer":
+                    # "defer" means the nest never reads an in-flight region:
+                    # run it whole and leave the halos pending for a later
+                    # consumer (no overlap credit for this nest).
+                    overlap = plan
+            team = None if self.has_reduce else getattr(interp, "thread_team", None)
+            if overlap is not None:
+                interior_dims, strips = overlap
+                parts = self._prepare_boxes(interp, env, interior_dims, team)
+            else:
+                parts = self._prepare_boxes(
+                    interp, env, dims, team, resolved=resolved
+                )
         except _Bailout as bail:
+            if pending_halos:
+                interp.complete_pending_halos()
             self.last_fallback = VectorizeFallback(self.op_name, bail.reason)
             return False
         except Exception as err:
@@ -261,24 +316,32 @@ class CompiledNest:
             # unexpected runtime type) means the static analysis was too
             # optimistic; no buffer has been touched yet, so falling back to
             # the tree walker is always safe.
+            if pending_halos:
+                interp.complete_pending_halos()
             self.last_fallback = VectorizeFallback(
                 self.op_name, f"preparation failed: {err}"
             )
             return False
-        pending, bindings, cells = plan
         # The commit cannot raise: every prepared array was validated to have
         # exactly the target region's shape and dtype.
-        for array, slices, prepared in pending:
-            array[slices] = prepared
-        for value, result in bindings:
-            interp.set(env, value, result)
+        self._commit(interp, env, parts)
+        if overlap is not None:
+            _, strips = overlap
+            interp.complete_pending_halos(overlapped=True)
+            # The strips were region-validated against the full box above
+            # (their bounds are subsets), so preparing them cannot bail.
+            for strip_dims in strips:
+                self._commit(
+                    interp, env, self._prepare_boxes(interp, env, strip_dims, None)
+                )
         interp.stats.cells_updated += cells
         self.last_fallback = None
         return True
 
-    def _prepare(self, interp, env: dict):
+    @staticmethod
+    def _concrete_dims(env: dict, bounds) -> list[tuple[int, int, int]]:
         dims: list[tuple[int, int, int]] = []
-        for lower, upper, step in self.bounds:
+        for lower, upper, step in bounds:
             dims.append(
                 (
                     lower.invariant_value(env),
@@ -290,29 +353,28 @@ class CompiledNest:
             # The interpreter defines the (error) semantics of dynamic
             # non-positive steps.
             raise _Bailout("non-positive (dynamic) loop step")
-        cells = 0
-        if self.count_bounds:
-            count_dims = [
-                (
-                    lower.invariant_value(env),
-                    upper.invariant_value(env),
-                    step.invariant_value(env),
-                )
-                for lower, upper, step in self.count_bounds
-            ]
-            if any(step <= 0 for _, _, step in count_dims):
-                raise _Bailout("non-positive (dynamic) loop step")
-            cells = math.prod(
-                len(range(lower, upper, step)) for lower, upper, step in count_dims
-            )
-        trips = tuple(len(range(lower, upper, step)) for lower, upper, step in dims)
-        nest_shape = trips
+        return dims
 
-        # Resolve every load/store region up front so aliasing and bounds can
-        # be validated before anything is evaluated or written.
-        loads: list[tuple[int, int, tuple]] = []  # (instr index, array id, slices)
+    def _cell_count(self, env: dict) -> int:
+        if not self.count_bounds:
+            return 0
+        count_dims = self._concrete_dims(env, self.count_bounds)
+        return math.prod(
+            len(range(lower, upper, step)) for lower, upper, step in count_dims
+        )
+
+    def _resolve_regions(self, interp, env: dict, dims) -> tuple[list, list, dict]:
+        """Resolve every load/store region of the nest over the ``dims`` box.
+
+        Returns ``(loads, stores, regions)`` where loads/stores are
+        ``(instr index, array id, slices)`` records and ``regions`` maps the
+        instruction index to ``(array, slices, view_shape, region_shape)``.
+        Raising :class:`_Bailout` here means the box cannot be executed by
+        slicing at all (and nothing has been written yet).
+        """
+        loads: list[tuple[int, int, tuple]] = []
         stores: list[tuple[int, int, tuple]] = []
-        regions: dict[int, tuple] = {}  # instr index -> resolved region
+        regions: dict[int, tuple] = {}
         for position, instr in enumerate(self.instrs):
             kind = instr[0]
             if kind not in ("load", "store"):
@@ -325,12 +387,139 @@ class CompiledNest:
             regions[position] = (array, slices, view_shape, region_shape)
             record = (position, id(array), slices)
             (loads if kind == "load" else stores).append(record)
+        return loads, stores, regions
 
-        if not self._aliasing_is_safe(loads, stores, regions):
-            raise _Bailout(
-                "aliasing stores: load/store regions overlap between cells, so "
-                "per-cell execution order is observable"
-            )
+    # -- thread-team chunking -------------------------------------------------
+    def _prepare_boxes(self, interp, env: dict, dims, team, *, resolved=None):
+        """Prepare one box, split over the team's threads when worthwhile.
+
+        Returns a list of ``(pending stores, bindings)`` pairs — one per
+        chunk — with *nothing committed yet*, so a bailing chunk leaves every
+        buffer untouched.  Chunks split the outermost dimension only, which
+        keeps their store regions disjoint.
+        """
+        boxes = [dims]
+        if team is not None:
+            trips = [len(range(lower, upper, step)) for lower, upper, step in dims]
+            if trips and trips[0] >= 2 and math.prod(trips) >= _TEAM_MIN_CELLS:
+                from .thread_team import split_trip_counts
+
+                lower, _, step = dims[0]
+                boxes = [
+                    [(lower + start * step, lower + end * step, step), *dims[1:]]
+                    for start, end in split_trip_counts(trips[0], team.size)
+                ]
+        if len(boxes) == 1:
+            return [self._prepare_box(interp, env, boxes[0], resolved=resolved)]
+
+        def worker(box):
+            try:
+                return self._prepare_box(interp, env, box)
+            except _Bailout as bail:
+                return bail
+
+        results = team.map(worker, boxes)
+        for result in results:
+            if isinstance(result, _Bailout):
+                raise result
+        return results
+
+    @staticmethod
+    def _commit(interp, env: dict, parts) -> None:
+        for pending, bindings in parts:
+            for array, slices, prepared in pending:
+                array[slices] = prepared
+            for value, result in bindings:
+                interp.set(env, value, result)
+
+    # -- halo/compute overlap --------------------------------------------------
+    def _plan_overlap(self, env: dict, dims, resolved, pending_halos):
+        """Partition ``dims`` into an interior box and boundary strips.
+
+        The interior contains exactly the iterations whose loads provably
+        avoid every in-flight halo region, so it can execute before the
+        receives complete.  Returns ``(interior dims, [strip dims, ...])``,
+        or None when the split cannot be proven safe (the caller then
+        completes the halos first and runs the plain path).  When the nest is
+        unrelated to every pending halo, the result is the sentinel
+        ``"defer"`` — the caller runs the plain path and the halos stay in
+        flight for a later consumer.
+        """
+        if self.has_reduce:
+            return None
+        if any(step != 1 for _, _, step in dims):
+            return None
+        loads, stores, regions = resolved
+        forbidden: dict[int, list[tuple[int, int]]] = {}
+        for halo in pending_halos:
+            halo_array = halo.array
+            for position, _, _ in stores:
+                if np.shares_memory(regions[position][0], halo_array):
+                    # Stores into the swapped buffer: completion would race
+                    # with (or be clobbered by) the interior commit.
+                    return None
+            for position, _, _ in loads:
+                array, slices = regions[position][:2]
+                if array is not halo_array:
+                    if np.shares_memory(array, halo_array):
+                        return None  # an aliased view we cannot reason about
+                    continue
+                for item in halo.items:
+                    axis = item.axis
+                    box = item.recv_slice[axis]
+                    affine = self.instrs[position][3][axis]
+                    if affine.is_invariant:
+                        if box.start <= slices[axis].start < box.stop:
+                            return None  # every iteration reads the halo
+                        continue
+                    dim = next(iter(affine.coeffs))
+                    offset = slices[axis].start - dims[dim][0]
+                    forbidden.setdefault(dim, []).append(
+                        (box.start - offset, box.stop - offset)
+                    )
+        interior = [[lower, upper] for lower, upper, _ in dims]
+        constrained = False
+        for dim, intervals in forbidden.items():
+            lower, upper = interior[dim]
+            changed = True
+            while changed:
+                changed = False
+                for begin, end in intervals:
+                    if begin <= lower < end:
+                        lower, changed = end, True
+                    if begin < upper <= end:
+                        upper, changed = begin, True
+            for begin, end in intervals:
+                if max(begin, lower) < min(end, upper):
+                    return None  # a halo-dependent band strictly inside
+            if lower >= upper:
+                return None  # no interior left: nothing to overlap with
+            if [lower, upper] != interior[dim]:
+                constrained = True
+            interior[dim] = [lower, upper]
+        if not constrained:
+            return "defer"
+        strips = []
+        for dim in range(self.rank):
+            lower, upper, _ = dims[dim]
+            ilower, iupper = interior[dim]
+            prefix = [(interior[k][0], interior[k][1], 1) for k in range(dim)]
+            suffix = [dims[k] for k in range(dim + 1, self.rank)]
+            if lower < ilower:
+                strips.append([*prefix, (lower, ilower, 1), *suffix])
+            if iupper < upper:
+                strips.append([*prefix, (iupper, upper, 1), *suffix])
+        interior_dims = [(lower, upper, 1) for lower, upper in interior]
+        return interior_dims, strips
+
+    # -- single-box preparation -------------------------------------------------
+    def _prepare_box(self, interp, env: dict, dims, *, resolved=None):
+        """Prepare (but do not commit) the nest restricted to the ``dims`` box."""
+        trips = tuple(len(range(lower, upper, step)) for lower, upper, step in dims)
+        nest_shape = trips
+        if resolved is None:
+            resolved = self._resolve_regions(interp, env, dims)
+        loads, stores, regions = resolved
 
         # Evaluate the element-wise program.
         values: dict[SSAValue, Any] = {}
@@ -398,7 +587,7 @@ class CompiledNest:
                     total = fn(init, fn.reduce(flattened))
                 bindings.append((result_value, convert(total)))
 
-        return pending, bindings, cells
+        return pending, bindings
 
     def _resolve_region(
         self,

@@ -8,7 +8,6 @@ same role the shared textual format plays between MLIR and xDSL in the paper.
 from __future__ import annotations
 
 import re
-from typing import Optional
 
 from .attributes import (
     ArrayAttr,
@@ -22,7 +21,6 @@ from .attributes import (
     IntegerAttr,
     StringAttr,
     SymbolRefAttr,
-    TypeAttribute,
     UnitAttr,
 )
 from .context import MLContext

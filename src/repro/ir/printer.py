@@ -14,7 +14,6 @@ attribute's ``print_parameters`` method.  The output round-trips through
 from __future__ import annotations
 
 import io
-from typing import Optional
 
 from .attributes import (
     ArrayAttr,

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from typing import Iterable, Optional, Sequence
 
-from .core import Block, IRError, Operation, Region, SSAValue
+from .core import Block, IRError, Operation, SSAValue
 
 
 class RewriteError(IRError):

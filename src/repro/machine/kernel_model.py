@@ -9,7 +9,7 @@ performance model tied to the same artefact the correctness tests execute.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, Optional
+from typing import Optional
 
 from ..dialects import stencil
 from ..ir.core import Operation

@@ -29,6 +29,11 @@ from .mp_world import (
     default_context,
     processes_available,
 )
+from .shared_pool import (
+    LeasedField,
+    SharedFieldPool,
+    shared_field_pool,
+)
 from .stats import (
     RankStats,
     combine_exec_statistics,
@@ -53,4 +58,5 @@ __all__ = [
     "run_program_processes", "run_spmd_processes",
     "RankStats", "merge_comm_statistics", "combine_exec_statistics",
     "sort_rank_stats",
+    "LeasedField", "SharedFieldPool", "shared_field_pool",
 ]

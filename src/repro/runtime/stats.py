@@ -40,6 +40,8 @@ def merge_comm_statistics(per_rank: Sequence[CommStatistics]) -> CommStatistics:
         merged.bytes_sent += stats.bytes_sent
         merged.collectives += stats.collectives
         merged.barriers += stats.barriers
+        merged.bytes_elided += stats.bytes_elided
+        merged.shared_blocks_reused += stats.shared_blocks_reused
     return merged
 
 
@@ -56,6 +58,7 @@ def combine_exec_statistics(per_rank: Sequence[ExecStatistics]) -> ExecStatistic
         merged.halo_elements_exchanged += stats.halo_elements_exchanged
         merged.mpi_messages += stats.mpi_messages
         merged.cells_updated += stats.cells_updated
+        merged.halo_swaps_overlapped += stats.halo_swaps_overlapped
     return merged
 
 

@@ -14,7 +14,9 @@ queue):
 
 * ``("program", key, payload)`` — cache a pickled program under ``key``;
 * ``("run", run_id, key, rank, size, function, backend, field_specs,
-  scalars, timeout)`` — attach the shared-memory fields and execute one rank;
+  scalars, timeout, threads_per_rank)`` — attach the shared-memory fields and
+  execute one rank (with an intra-rank thread team when
+  ``threads_per_rank > 1`` — the OpenMP level of the hybrid runtime);
 * ``("spmd", run_id, rank, size, payload, timeout)`` — run an arbitrary
   picklable ``fn(comm, *args)`` (tests and ad-hoc experiments);
 * ``("stop",)`` — exit the worker loop.
@@ -96,7 +98,7 @@ def _worker_main(worker_index: int, commands, results, inboxes) -> None:
             continue
         if kind == "run":
             (_, run_id, key, rank, size, function_name, backend,
-             field_specs, scalars, timeout) = command
+             field_specs, scalars, timeout, threads_per_rank) = command
             fields: list[SharedField] = []
             try:
                 program = programs[key]
@@ -110,7 +112,10 @@ def _worker_main(worker_index: int, commands, results, inboxes) -> None:
                 comm = ProcessRankCommunicator(
                     rank, size, inboxes, run_id=run_id, timeout=timeout
                 )
-                interpreter = Interpreter(program.module, comm=comm, kernel=kernel)
+                interpreter = Interpreter(
+                    program.module, comm=comm, kernel=kernel,
+                    threads=threads_per_rank,
+                )
                 interpreter.call(
                     function_name, *[field.array for field in fields], *scalars
                 )
@@ -206,6 +211,26 @@ class WorkerPool:
         return key
 
     # -- execution ------------------------------------------------------------
+    def reap_dead_workers(self) -> list[int]:
+        """Indices of workers that died (crashed or were killed) since start."""
+        return [
+            index for index, process in enumerate(self._processes)
+            if not process.is_alive()
+        ]
+
+    def _require_healthy(self) -> None:
+        """Retire the pool when any worker died between runs.
+
+        A dead worker would silently swallow its rank's command and hang the
+        whole run until the collect deadline; replacing the pool up front
+        turns that into a transparent retry for the caller (the
+        ``_PoolReplacedError`` loop in the entry points fetches a fresh one).
+        """
+        dead = self.reap_dead_workers()
+        if dead:
+            self.shutdown()
+            raise _PoolReplacedError
+
     def run_program(
         self,
         program,
@@ -214,6 +239,7 @@ class WorkerPool:
         field_specs: Sequence[Sequence[SharedFieldSpec]],
         scalar_arguments: Sequence[Any],
         timeout: float,
+        threads_per_rank: int = 1,
     ) -> list[RankStats]:
         """Execute one rank per worker against pre-scattered shared fields."""
         size = len(field_specs)
@@ -222,13 +248,14 @@ class WorkerPool:
         with self._run_lock:
             if not self.alive:
                 raise _PoolReplacedError
+            self._require_healthy()
             key = self.ship_program(program, size)
             run_id = next(self._run_ids)
             scalars = list(scalar_arguments)
             for rank in range(size):
                 self._commands[rank].put(
                     ("run", run_id, key, rank, size, function_name, backend,
-                     list(field_specs[rank]), scalars, timeout)
+                     list(field_specs[rank]), scalars, timeout, threads_per_rank)
                 )
             reports = self._collect(run_id, size, timeout)
         return [RankStats(rank, exec_stats, comm_stats)
@@ -247,6 +274,7 @@ class WorkerPool:
         with self._run_lock:
             if not self.alive:
                 raise _PoolReplacedError
+            self._require_healthy()
             run_id = next(self._run_ids)
             payload = pickle.dumps((fn, tuple(args)))
             for rank in range(size):
@@ -293,11 +321,19 @@ class WorkerPool:
 
     # -- lifecycle -------------------------------------------------------------
     def shutdown(self) -> None:
-        """Stop every worker and release the queues; the pool is dead after."""
+        """Stop every worker and release the queues; the pool is dead after.
+
+        Workers that already died (crashed mid-run, killed externally) are
+        reaped rather than waited on: the stop command is only sent to live
+        ones, joins on corpses return immediately, and a worker that ignores
+        ``terminate`` is force-killed — shutdown always finishes.
+        """
         if not self.alive:
             return
         self.alive = False
-        for commands in self._commands:
+        for commands, process in zip(self._commands, self._processes):
+            if not process.is_alive():
+                continue  # already dead: nobody will read the stop command
             try:
                 commands.put(("stop",))
             except Exception:  # pragma: no cover - queue already broken
@@ -307,6 +343,10 @@ class WorkerPool:
         for process in self._processes:
             if process.is_alive():
                 process.terminate()
+                process.join(timeout=1.0)
+        for process in self._processes:
+            if process.is_alive():  # pragma: no cover - terminate ignored
+                process.kill()
                 process.join(timeout=1.0)
         for q in [*self._commands, *self._inboxes, self._results]:
             try:
@@ -338,12 +378,15 @@ def get_worker_pool(size: int) -> WorkerPool:
 
 
 def shutdown_worker_pool() -> None:
-    """Tear down the shared pool (tests, interpreter exit)."""
+    """Tear down the shared pool and field blocks (tests, interpreter exit)."""
     global _GLOBAL_POOL
     with _GLOBAL_POOL_LOCK:
         if _GLOBAL_POOL is not None:
             _GLOBAL_POOL.shutdown()
             _GLOBAL_POOL = None
+    from .shared_pool import shared_field_pool
+
+    shared_field_pool().clear()
 
 
 atexit.register(shutdown_worker_pool)
@@ -357,41 +400,53 @@ def run_program_processes(
     program,
     function_name: str,
     backend: str,
-    local_fields: Sequence[Sequence[np.ndarray]],
+    local_fields: Sequence[Sequence[Any]],
     scalar_arguments: Sequence[Any],
     *,
     timeout: float = 60.0,
+    threads_per_rank: int = 1,
 ) -> tuple[list[ExecStatistics], CommStatistics]:
     """Run one compiled SPMD program rank-per-process over shared memory.
 
-    ``local_fields[rank]`` are the pre-scattered per-rank buffers; they are
-    updated **in place** (the executor gathers from them afterwards exactly as
-    it does for the thread runtime).  Returns the per-rank execution
+    ``local_fields[rank]`` are the pre-scattered per-rank buffers.  Plain
+    NumPy arrays are copied into fresh shared-memory blocks and back (the
+    PR 2 discipline, kept for ad-hoc callers); entries that already *are*
+    shared-memory backed — :class:`~repro.runtime.shared_pool.LeasedField`
+    or :class:`~repro.runtime.mp_world.SharedField` — are used in place,
+    eliding both copies (the executor's copy-elision path).  Buffers are
+    updated **in place** either way.  Returns the per-rank execution
     statistics in rank order plus the merged communication statistics.
     """
     size = len(local_fields)
-    shared = [
-        [SharedField.create(array) for array in rank_fields]
-        for rank_fields in local_fields
-    ]
+    owned: list[tuple[np.ndarray, SharedField]] = []
+    shared: list[list[Any]] = []
+    for rank_fields in local_fields:
+        rank_shared = []
+        for entry in rank_fields:
+            if isinstance(entry, np.ndarray):
+                field = SharedField.create(entry)
+                owned.append((entry, field))
+                rank_shared.append(field)
+            else:
+                rank_shared.append(entry)
+        shared.append(rank_shared)
     try:
         specs = [[field.spec for field in rank_fields] for rank_fields in shared]
-        while True:
+        for _ in _pool_attempts():
             pool = get_worker_pool(size)
             try:
                 reports = pool.run_program(
-                    program, function_name, backend, specs, scalar_arguments, timeout
+                    program, function_name, backend, specs, scalar_arguments,
+                    timeout, threads_per_rank,
                 )
                 break
             except _PoolReplacedError:
-                continue  # a concurrent caller grew the pool under us
-        for rank_fields, rank_shared in zip(local_fields, shared):
-            for array, field in zip(rank_fields, rank_shared):
-                array[...] = field.array
+                continue  # the pool was grown, replaced, or had dead workers
+        for array, field in owned:
+            array[...] = field.array
     finally:
-        for rank_shared in shared:
-            for field in rank_shared:
-                field.release()
+        for _, field in owned:
+            field.release()
     ordered = sort_rank_stats(reports)
     return (
         [report.exec_stats for report in ordered],
@@ -414,11 +469,26 @@ def run_spmd_processes(
     """
     if not processes_available():
         raise WorkerError("process runtime is unavailable on this platform")
-    while True:
+    for _ in _pool_attempts():
         pool = get_worker_pool(size)
         try:
             values, per_rank = pool.run_spmd(fn, size, args, timeout)
             break
         except _PoolReplacedError:
-            continue  # a concurrent caller grew the pool under us
+            continue  # the pool was grown, replaced, or had dead workers
     return values, merge_comm_statistics(per_rank)
+
+
+def _pool_attempts(limit: int = 5):
+    """Bounded retry loop for transparently replaced pools.
+
+    A replaced pool (growth race, reaped dead workers) is retried against a
+    fresh one; but workers that die *at startup* (ImportError in the child,
+    fd exhaustion) would otherwise respawn pools forever — after ``limit``
+    replacements the failure surfaces as a WorkerError instead.
+    """
+    yield from range(limit)
+    raise WorkerError(
+        f"worker pool was replaced {limit} times in a row; workers appear "
+        "to be dying at startup (see the system log for the child error)"
+    )

@@ -8,7 +8,6 @@ shared MLIR infrastructure.
 
 from __future__ import annotations
 
-from ...ir.attributes import Attribute
 from ...ir.context import MLContext
 from ...ir.core import Block, Operation
 from ...ir.pass_manager import ModulePass, PassRegistry

@@ -5,7 +5,7 @@ from __future__ import annotations
 from ...ir.context import MLContext
 from ...ir.core import Operation
 from ...ir.pass_manager import ModulePass, PassRegistry
-from ...ir.traits import IsTerminator, Pure, is_pure
+from ...ir.traits import IsTerminator, is_pure
 
 
 def _is_trivially_dead(op: Operation) -> bool:

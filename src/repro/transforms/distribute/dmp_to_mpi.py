@@ -21,7 +21,7 @@ from __future__ import annotations
 from typing import Sequence
 
 from ...dialects import arith, memref, mpi, scf
-from ...dialects.dmp import ExchangeAttr, GridAttr, SwapOp
+from ...dialects.dmp import ExchangeAttr, SwapOp
 from ...ir.attributes import IntegerAttr
 from ...ir.builder import Builder
 from ...ir.context import MLContext

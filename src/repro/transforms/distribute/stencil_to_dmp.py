@@ -22,13 +22,13 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
-from ...dialects import builtin, func, scf, stencil
+from ...dialects import func, stencil
 from ...dialects.builtin import UnrealizedConversionCastOp
 from ...dialects.dmp import SwapOp
 from ...ir.builder import Builder
 from ...ir.context import MLContext
 from ...ir.core import Operation, SSAValue
-from ...ir.pass_manager import ModulePass, PassRegistry
+from ...ir.pass_manager import ModulePass
 from ...ir.types import FunctionType, MemRefType
 from ..stencil.shape_inference import infer_shapes
 from .decomposition import DecompositionError, DecompositionStrategy, LocalDomain

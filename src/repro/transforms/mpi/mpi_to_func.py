@@ -9,7 +9,6 @@ values quoted in the paper; switching libraries means switching this table.
 
 from __future__ import annotations
 
-from typing import Optional
 
 from ...dialects import arith, func, llvm, memref, mpi
 from ...dialects.builtin import ModuleOp
@@ -18,16 +17,7 @@ from ...ir.builder import Builder
 from ...ir.context import MLContext
 from ...ir.core import Operation, SSAValue
 from ...ir.pass_manager import ModulePass, PassRegistry
-from ...ir.types import (
-    Float32Type,
-    Float64Type,
-    IntegerType,
-    MemRefType,
-    bytewidth_of,
-    i32,
-    i64,
-    index,
-)
+from ...ir.types import Float32Type, Float64Type, IntegerType, MemRefType, i32, i64
 
 #: mpich magic constants (the values the paper extracts from mpi.h).
 MPICH_COMM_WORLD = 0x44000000  # 1140850688

@@ -14,7 +14,6 @@ from __future__ import annotations
 from typing import Optional
 
 from ...dialects import omp, scf
-from ...ir.builder import Builder
 from ...ir.context import MLContext
 from ...ir.core import Block, Operation, Region
 from ...ir.pass_manager import ModulePass, PassRegistry

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 from ...dialects import stencil
 from ...ir.context import MLContext
-from ...ir.core import Operation, SSAValue
+from ...ir.core import Operation
 from ...ir.pass_manager import ModulePass, PassRegistry
 
 

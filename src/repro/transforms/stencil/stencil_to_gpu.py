@@ -19,9 +19,9 @@ volumes and the synchronisation count to estimate runtime.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Sequence
 
-from ...dialects import gpu, scf, stencil
+from ...dialects import gpu, scf
 from ...ir.attributes import UnitAttr
 from ...ir.builder import Builder
 from ...ir.context import MLContext

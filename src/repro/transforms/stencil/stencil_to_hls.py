@@ -20,7 +20,6 @@ still execute the program.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
 
 from ...dialects import hls, stencil
 from ...ir.attributes import IntAttr, UnitAttr

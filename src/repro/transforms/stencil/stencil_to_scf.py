@@ -17,12 +17,12 @@ from __future__ import annotations
 
 from typing import Optional, Sequence
 
-from ...dialects import arith, builtin, memref, scf, stencil
+from ...dialects import arith, memref, scf, stencil
 from ...dialects.builtin import UnrealizedConversionCastOp
 from ...ir.attributes import IntAttr, UnitAttr
 from ...ir.builder import Builder
 from ...ir.context import MLContext
-from ...ir.core import Block, BlockArgument, Operation, Region, SSAValue
+from ...ir.core import Block, BlockArgument, Operation, SSAValue
 from ...ir.pass_manager import ModulePass, PassRegistry
 from ...ir.types import MemRefType, index
 

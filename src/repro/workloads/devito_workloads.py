@@ -14,7 +14,7 @@ giving 5/9/13-point stencils in 2D and 7/13/19-point stencils in 3D.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Sequence
+from typing import Sequence
 
 import numpy as np
 

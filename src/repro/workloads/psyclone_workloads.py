@@ -18,7 +18,7 @@ which is what the evaluation's performance behaviour depends on.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Sequence
+from typing import Sequence
 
 import numpy as np
 

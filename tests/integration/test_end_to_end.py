@@ -18,9 +18,7 @@ from repro.core import (
     run_local,
     smp_target,
 )
-from repro.frontends.devito import Eq, Grid, Operator, TimeFunction, solve
 from repro.frontends.psyclone import reference_execute
-from repro.interp import Interpreter, SimulatedMPI
 from repro.workloads import heat_diffusion, acoustic_wave, pw_advection, tracer_advection
 from tests.conftest import build_jacobi_module, jacobi_reference
 

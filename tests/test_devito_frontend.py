@@ -16,7 +16,6 @@ from repro.frontends.devito import (
     central_difference_coefficients,
     solve,
 )
-from repro.frontends.devito.symbolic import BinOp, Function, Scalar, Symbol
 
 
 class TestSymbolics:

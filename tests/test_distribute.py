@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.dialects import builtin, dmp, func, mpi, scf, stencil
+from repro.dialects import builtin, dmp, func, mpi, stencil
 from repro.interp import Interpreter, SimulatedMPI
 from repro.transforms.common import canonicalize
 from repro.transforms.distribute import (
@@ -14,12 +14,7 @@ from repro.transforms.distribute import (
     eliminate_redundant_swaps,
     lower_dmp_to_mpi,
 )
-from repro.transforms.mpi import (
-    MPICH_COMM_WORLD,
-    MPICH_DATATYPE_CONSTANTS,
-    datatype_constant_for,
-    lower_mpi_to_func,
-)
+from repro.transforms.mpi import MPICH_DATATYPE_CONSTANTS, datatype_constant_for, lower_mpi_to_func
 from repro.transforms.stencil import lower_stencil_to_scf
 from repro.ir import f32, f64, i32, i64
 from tests.conftest import build_jacobi_module, jacobi_reference

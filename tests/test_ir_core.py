@@ -169,7 +169,7 @@ class TestBuilder:
     def test_builder_positions(self):
         block = Block()
         builder = Builder.at_end(block)
-        first = builder.insert(constant(1))
+        builder.insert(constant(1))
         third = builder.insert(constant(3))
         Builder.before(third).insert(constant(2))
         Builder.after(third).insert(constant(4))

@@ -3,17 +3,7 @@
 import pytest
 
 from repro.dialects import arith, builtin, func, scf
-from repro.ir import (
-    Builder,
-    FunctionType,
-    LambdaPass,
-    PassManager,
-    PassRegistry,
-    default_context,
-    f64,
-    i32,
-    index,
-)
+from repro.ir import Builder, FunctionType, LambdaPass, PassManager, PassRegistry, f64, i32, index
 from repro.dialects.stencil import AccessOp, ApplyOp, ReturnOp, StencilBoundsAttr, TempType
 from repro.ir.core import Block
 from repro.transforms.common import (
@@ -81,9 +71,6 @@ class TestCommonSubexpressionElimination:
         """Regression: offsets (-1, 0) and (-2, 0) must stay distinct (hash(-1)==hash(-2))."""
         temp = TempType(StencilBoundsAttr([0, 0], [4, 4]), f64)
         block = Block(arg_types=[temp])
-        apply_op = ApplyOp.create(
-            operands=[], result_types=[temp], regions=[]
-        )
         first = AccessOp(block.args[0], [-1, 0])
         second = AccessOp(block.args[0], [-2, 0])
         block.add_op(first)

@@ -216,6 +216,70 @@ def test_concurrent_runs_serialize_on_the_pool():
     assert outcomes[0][2] == outcomes[1][2]
 
 
+def _suicide_body(comm):
+    """Module-level (workers unpickle it): rank 1 dies mid-run via SIGKILL."""
+    import os as os_module
+    import signal as signal_module
+
+    if comm.rank == 1:
+        os_module.kill(os_module.getpid(), signal_module.SIGKILL)
+    comm.barrier()  # the surviving rank blocks here until the parent reacts
+    return comm.rank
+
+
+@needs_processes
+def test_worker_killed_between_runs_is_reaped():
+    """A worker killed while idle is reaped; the next run recovers silently."""
+    import os
+    import signal
+
+    from repro.runtime import WorkerPool
+
+    shutdown_worker_pool()
+    pool = get_worker_pool(2)
+    victim = pool._processes[1]
+    os.kill(victim.pid, signal.SIGKILL)
+    victim.join(5)
+    assert not victim.is_alive()
+    # The dead worker is detected at run entry, the pool is replaced, and the
+    # run completes on the fresh pool — no error, no hang.
+    values, _ = run_spmd_processes(_ring_body, 2, timeout=60.0)
+    assert [v.shape for v in values] == [(5,), (5,)]
+    replacement = get_worker_pool(2)
+    assert isinstance(replacement, WorkerPool) and replacement is not pool
+    assert replacement.alive and not pool.alive
+
+
+@needs_processes
+def test_worker_killed_mid_run_fails_fast_and_recovers():
+    """A rank dying mid-run raises promptly (no deadlock) and the pool heals."""
+    import pytest as pytest_module
+
+    shutdown_worker_pool()
+    with pytest_module.raises(Exception, match="died|failed"):
+        run_spmd_processes(_suicide_body, 2, timeout=60.0)
+    # Clean recovery: the poisoned pool was shut down and replaced.
+    values, _ = run_spmd_processes(_ring_body, 2, timeout=60.0)
+    assert len(values) == 2
+
+
+@needs_processes
+def test_shutdown_reaps_dead_workers():
+    """shutdown() finishes even when workers already died."""
+    import os
+    import signal
+
+    shutdown_worker_pool()
+    pool = get_worker_pool(2)
+    for process in pool._processes:
+        os.kill(process.pid, signal.SIGKILL)
+    for process in pool._processes:
+        process.join(5)
+    assert pool.reap_dead_workers() == [0, 1]
+    pool.shutdown()  # must not hang or raise
+    assert not pool.alive
+
+
 def _slow_rank_body(comm):
     """Module-level (workers unpickle it): holds the pool busy briefly."""
     import time as time_module

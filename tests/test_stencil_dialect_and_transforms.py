@@ -3,10 +3,10 @@
 import numpy as np
 import pytest
 
-from repro.dialects import arith, builtin, func, gpu, hls, memref, omp, scf, stencil
+from repro.dialects import hls, memref, omp, scf, stencil
 from repro.frontends.oec import StencilProgramBuilder
 from repro.interp import Interpreter
-from repro.ir import Builder, FunctionType, f64, index
+from repro.ir import f64
 from repro.transforms.common import canonicalize
 from repro.transforms.smp import convert_scf_to_openmp, count_parallel_regions
 from repro.transforms.stencil import (

@@ -1,7 +1,6 @@
 """Tests of the workload generators, the evaluation harness, and the paper listings."""
 
 import numpy as np
-import pytest
 
 from repro.dialects import dmp, func, llvm, memref, mpi, stencil
 from repro.evaluation import (
