@@ -10,7 +10,7 @@
 import numpy as np
 import pytest
 
-from repro.core import Target, TargetKind, compile_stencil_program, dmp_target, run_distributed
+from repro.core import Target, TargetKind, compile_stencil_program, default_session, dmp_target
 from repro.transforms.distribute import GridSlicingStrategy, communicated_elements_per_step
 from repro.workloads import heat_diffusion, pw_advection
 from repro.machine import characterize_module
@@ -29,7 +29,7 @@ def test_decomposition_strategy(benchmark, grid):
         u0 = np.zeros((18, 18))
         u0[8:10, 8:10] = 1.0
         u1 = u0.copy()
-        return run_distributed(program, [u0, u1], [2])
+        return default_session().run(program, [u0, u1], [2])
 
     result = benchmark(run)
     halo = communicated_elements_per_step(GridSlicingStrategy(grid), (16, 16), (1, 1), (1, 1))
@@ -74,9 +74,9 @@ def test_loop_tiling(benchmark, tiles):
         u0 = np.zeros((22, 22))
         u0[10, 10] = 1.0
         u1 = u0.copy()
-        from repro.core import run_local
+        from repro.core import default_session
 
-        run_local(program, [u0, u1, 2])
+        default_session().run(program, [u0, u1, 2])
         return u0
 
     data = benchmark(run)

@@ -23,7 +23,7 @@ import numpy as np
 import pytest
 
 from bench_helpers import attach_rows
-from repro.core import compile_stencil_program, cpu_target, run_local
+from repro.core import Session, compile_stencil_program, cpu_target, default_session, dmp_target
 from repro.dialects import arith
 from repro.workloads import heat_diffusion, masked_tracer_advection
 
@@ -40,13 +40,20 @@ def _compiled_heat(space_order):
     return program, operator._field_arguments()
 
 
+def _run_local(program, call_args, function, backend):
+    """One-shot execution through the Session API (no deprecated shims)."""
+    return default_session().run(
+        program, list(call_args), function=function, backend=backend
+    )
+
+
 def _time_backend(program, fields, backend, repeats=1):
     best = float("inf")
     outputs = None
     for _ in range(repeats):
         arrays = [field.copy() for field in fields]
         start = time.perf_counter()
-        run_local(program, [*arrays, TIMESTEPS], function="kernel", backend=backend)
+        _run_local(program, [*arrays, TIMESTEPS], "kernel", backend)
         best = min(best, time.perf_counter() - start)
         outputs = arrays
     return best, outputs
@@ -105,7 +112,7 @@ def _assert_and_attach(benchmark, name, kernel, shape, program, make_args,
             arrays = make_args()
             call_args = arrays if steps is None else [*arrays, steps]
             start = time.perf_counter()
-            run_local(program, call_args, function=function, backend=backend)
+            _run_local(program, call_args, function, backend)
             best = min(best, time.perf_counter() - start)
             outputs = arrays
         return best, outputs
@@ -173,6 +180,86 @@ def test_reduce_nest_speedup(benchmark):
     _assert_and_attach(
         benchmark, "backend-speedup", f"reduce-sum-{n}x{n}", (n, n), program,
         lambda: [data.copy(), np.zeros(1)], "kernel",
+    )
+
+
+@pytest.mark.benchmark(group="session-plan")
+def test_session_plan_hotpath_speedup(benchmark):
+    """plan.run() must beat the one-shot shim path on back-to-back runs.
+
+    The serving scenario of the Session API: the same small-grid distributed
+    program executed many times.  A held :class:`repro.core.Plan` has
+    pre-resolved the kernel selection, function lookup, decomposition
+    geometry, scatter/gather slice plans, interpreter block plans and the
+    persistent rank threads, so each ``plan.run()`` does strictly less work
+    than a ``run_distributed``-equivalent one-shot call.  Results must stay
+    bit-identical with matching statistics (asserted here; the full
+    {threads, processes} x {1, 2 threads_per_rank} parity matrix lives in
+    tests/test_session_api.py).
+    """
+    steps, repeats, calls = 2, 3, 20
+    workload = heat_diffusion((16, 16), space_order=2, dtype=np.float64)
+    module = workload.operator(backend="xdsl").stencil_module(dt=workload.dt)
+    program = compile_stencil_program(module, dmp_target((2, 1)))
+
+    def fields():
+        u0 = np.zeros((18, 18))
+        u0[8:10, 8:10] = 1.0
+        return [u0, u0.copy()]
+
+    def one_shot(arrays):
+        # The shim-equivalent path: a fresh plan per call, legacy
+        # thread-per-run discipline (exactly what run_distributed does,
+        # minus its DeprecationWarning).
+        return default_session().run(program, arrays, [steps])
+
+    with Session() as session:
+        plan = session.plan(program)
+        shim_fields = fields()
+        shim_result = one_shot(shim_fields)
+        plan_fields = fields()
+        plan_result = plan.run(plan_fields, [steps])
+        for mine, theirs in zip(plan_fields, shim_fields):
+            assert np.array_equal(mine, theirs), "plan diverged from the shim"
+        assert plan_result.statistics == shim_result.statistics
+        assert plan_result.comm_statistics == shim_result.comm_statistics
+
+        shim_best = plan_best = float("inf")
+        for _ in range(repeats):
+            start = time.perf_counter()
+            for _ in range(calls):
+                one_shot(fields())
+            shim_best = min(shim_best, (time.perf_counter() - start) / calls)
+            start = time.perf_counter()
+            for _ in range(calls):
+                plan.run(fields(), [steps])
+            plan_best = min(plan_best, (time.perf_counter() - start) / calls)
+
+        def measured():
+            return shim_best, plan_best
+
+        benchmark(measured)
+    speedup = shim_best / plan_best
+    attach_rows(
+        benchmark,
+        "session-plan",
+        [
+            {
+                "kernel": "session-plan-hotpath",
+                "shape": [16, 16],
+                "backend": "auto",
+                "ranks": [2, 1],
+                "threads_per_rank": 1,
+                "timesteps": steps,
+                "shim_s": shim_best,
+                "plan_s": plan_best,
+                "speedup": speedup,
+            }
+        ],
+    )
+    assert speedup >= 1.3, (
+        f"plan.run() hot path is only {speedup:.2f}x faster than the "
+        "one-shot shim path on back-to-back runs (need >= 1.3x)"
     )
 
 

@@ -15,7 +15,7 @@ import numpy as np
 import pytest
 
 from bench_helpers import attach_rows
-from repro.core import compile_stencil_program, dmp_target, run_distributed
+from repro.core import Session, compile_stencil_program, default_session, dmp_target
 from repro.evaluation import figure8_strong_scaling
 from repro.workloads import heat_diffusion
 
@@ -54,7 +54,7 @@ def test_distributed_heat_execution(benchmark, ranks, threads_per_rank):
         u0 = np.zeros((18, 18))
         u0[8:10, 8:10] = 1.0
         u1 = u0.copy()
-        result = run_distributed(
+        result = default_session().run(
             program, [u0, u1], [2], threads_per_rank=threads_per_rank
         )
         return result
@@ -96,7 +96,7 @@ def test_process_runtime_strong_scaling_smoke():
         u0[64:66, 64:66] = 1.0
         u1 = u0.copy()
         start = time.perf_counter()
-        result = run_distributed(
+        result = default_session().run(
             program, [u0, u1], [4],
             backend="interpreter", runtime=runtime, timeout=600.0,
         )
@@ -136,6 +136,64 @@ def test_process_runtime_strong_scaling_smoke():
         shutdown_worker_pool()
 
 
+def test_session_warmup_smoke():
+    """Session.warmup() absorbs the spawn latency of the first hybrid run.
+
+    The ROADMAP warm-up item: a warmed session has its worker processes and
+    worker-side thread teams already spawned (and the program already
+    shipped), so the first ``plan.run()`` pays none of it.  Asserted two
+    ways: deterministic counters (the warmed run creates no pool and ships
+    nothing) and a wall-clock smoke (the warmed first run must not be
+    materially slower than the cold first run, which pays the spawns — in
+    practice it is several times faster).
+    """
+    from repro.runtime import processes_available
+
+    if not processes_available():
+        pytest.skip("process runtime unavailable on this platform")
+
+    workload = heat_diffusion((64, 64), space_order=2, dtype=np.float64)
+    module = workload.operator(backend="xdsl").stencil_module(dt=workload.dt)
+    program = compile_stencil_program(module, dmp_target((2, 1)))
+    program.compiled_kernel("kernel")  # parent-side compile outside timings
+
+    def fields():
+        u0 = np.zeros((66, 66))
+        u0[32:34, 32:34] = 1.0
+        return [u0, u0.copy()]
+
+    def first_run_seconds(warm: bool) -> float:
+        with Session(runtime="processes", threads_per_rank=2) as session:
+            plan = session.plan(program)
+            if warm:
+                plan.warmup()
+                pools_before = session.worker_pools_created
+                shipped_before = session._pool_manager.pool.programs_shipped
+            start = time.perf_counter()
+            plan.run(fields(), [2])
+            elapsed = time.perf_counter() - start
+            if warm:
+                assert session.worker_pools_created == pools_before, (
+                    "the warmed first run spawned a worker pool"
+                )
+                assert (
+                    session._pool_manager.pool.programs_shipped == shipped_before
+                ), "the warmed first run re-shipped the program"
+            return elapsed
+
+    cold = first_run_seconds(warm=False)
+    warm = first_run_seconds(warm=True)
+    print(f"\nwarm-up smoke: cold first run {cold*1e3:.1f} ms, "
+          f"warmed first run {warm*1e3:.1f} ms")
+    # The warmed run skips pool spawn + program shipping; allow generous
+    # noise headroom but catch the regression where warm-up stops working
+    # (warm would then pay the same spawn latency as cold).
+    assert warm <= cold * 1.2, (
+        f"first run after warmup ({warm:.3f}s) should not be slower than the "
+        f"cold first run ({cold:.3f}s) that pays the spawn latency"
+    )
+
+
 def test_hybrid_strong_scaling_smoke():
     """2 ranks x 2 threads must not lose to 2 ranks x 1 thread (fig. 8 hybrid).
 
@@ -164,7 +222,7 @@ def test_hybrid_strong_scaling_smoke():
         u0[shape[0] // 2, shape[1] // 2] = 1.0
         u1 = u0.copy()
         start = time.perf_counter()
-        result = run_distributed(
+        result = default_session().run(
             program, [u0, u1], [steps],
             backend="vectorized", runtime="processes",
             threads_per_rank=threads_per_rank, timeout=600.0,

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from bench_helpers import attach_rows
-from repro.core import compile_stencil_program, gpu_target, run_local
+from repro.core import compile_stencil_program, default_session, gpu_target
 from repro.evaluation import figure9_devito_gpu
 from repro.workloads import heat_diffusion
 
@@ -31,7 +31,7 @@ def test_gpu_lowered_execution(benchmark):
         u0 = np.zeros((18, 18))
         u0[8, 8] = 1.0
         u1 = u0.copy()
-        return run_local(program, [u0, u1, 2])
+        return default_session().run(program, [u0, u1, 2])
 
     result = benchmark(run)
     assert result.statistics[0].kernel_launches == 2

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from bench_helpers import attach_rows
-from repro.core import compile_stencil_program, cpu_target, run_local
+from repro.core import compile_stencil_program, cpu_target, default_session
 from repro.evaluation import figure10a_psyclone_cpu
 from repro.workloads import pw_advection, tracer_advection
 
@@ -36,7 +36,9 @@ def test_psyclone_kernel_execution(benchmark, workload_factory):
     def run():
         arrays = workload.arrays(dtype=np.float64)
         ordered = [arrays[name] for name in schedule.array_names()]
-        run_local(program, [*ordered, workload.iterations], function=schedule.name)
+        default_session().run(
+            program, [*ordered, workload.iterations], function=schedule.name
+        )
         return arrays
 
     arrays = benchmark(run)

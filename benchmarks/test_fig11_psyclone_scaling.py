@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from bench_helpers import attach_rows
-from repro.core import compile_stencil_program, dmp_target, run_distributed
+from repro.core import compile_stencil_program, default_session, dmp_target
 from repro.evaluation import figure11_psyclone_scaling
 from repro.workloads import masked_tracer_advection
 
@@ -42,14 +42,14 @@ def test_fig11_hybrid_tracer_execution(rank_grid, threads_per_rank):
     source = workload.arrays(halo=1, dtype=np.float64, seed=11)
 
     reference = [source[name].copy() for name in names]
-    run_distributed(
+    default_session().run(
         reference_program, reference, [workload.iterations],
         function=workload.schedule.name, runtime="threads",
     )
 
     program = compile_stencil_program(module, dmp_target(rank_grid))
     fields = [source[name].copy() for name in names]
-    result = run_distributed(
+    result = default_session().run(
         program, fields, [workload.iterations],
         function=workload.schedule.name,
         runtime="threads", threads_per_rank=threads_per_rank,

@@ -7,8 +7,13 @@ the in-process message-passing runtime — one thread per rank
 (``--runtime threads``, the default) or one OS process per rank with
 shared-memory field buffers (``--runtime processes``).  ``--threads-per-rank``
 adds the OpenMP level of the paper's hybrid MPI+OpenMP configurations: each
-rank's vectorized nests execute on an intra-rank thread team.  The
-distributed result is checked against a single-rank run either way.
+rank's vectorized nests execute on an intra-rank thread team.
+
+Execution goes through the Session API: one :class:`repro.core.ExecutionConfig`
+describes the run, a :class:`repro.core.Session` owns the worker pool and
+thread teams (warmed up before the first run), and the Operator's plan is the
+amortized hot path.  The distributed result is checked against a single-rank
+run either way.
 
 Run with::
 
@@ -20,7 +25,7 @@ import argparse
 
 import numpy as np
 
-from repro.core import EXECUTION_RUNTIMES, dmp_target
+from repro.core import EXECUTION_RUNTIMES, ExecutionConfig, Session, dmp_target
 from repro.frontends.devito import Eq, Grid, Operator, TimeFunction, solve
 
 SHAPE = (32, 32)
@@ -30,7 +35,7 @@ TIMESTEPS = 8
 RANK_GRIDS = {1: (1, 1), 2: (2, 1), 4: (2, 2)}
 
 
-def simulate(target=None, runtime="threads", threads_per_rank=1) -> np.ndarray:
+def simulate(target=None, config=None, session=None) -> np.ndarray:
     grid = Grid(shape=SHAPE, extent=(1.0, 1.0))
     u = TimeFunction(name="u", grid=grid, space_order=4, time_order=2, dtype=np.float64)
     u.data[0][16, 16] = 1.0   # point source
@@ -38,11 +43,7 @@ def simulate(target=None, runtime="threads", threads_per_rank=1) -> np.ndarray:
 
     wave_equation = Eq(u.dt2, 1.5 ** 2 * u.laplace)
     update = Eq(u.forward, solve(wave_equation, u.forward))
-    kwargs = {
-        "backend": "xdsl",
-        "runtime": runtime,
-        "threads_per_rank": threads_per_rank,
-    }
+    kwargs = {"backend": "xdsl", "config": config, "session": session}
     if target is not None:
         kwargs["target"] = target
     op = Operator([update], **kwargs)
@@ -69,11 +70,20 @@ def main() -> None:
     single_rank = simulate()
     # Halo exchanges lowered to MPI_Isend/MPI_Irecv/MPI_Waitall with mpich
     # magic constants, exactly as the paper's generated code issues them.
-    distributed = simulate(
-        dmp_target(RANK_GRIDS[args.ranks], lower_to_library_calls=True),
+    config = ExecutionConfig(
         runtime=args.runtime,
+        ranks=args.ranks,
         threads_per_rank=args.threads_per_rank,
     )
+    with Session(config) as session:
+        # Pre-spawn workers and thread teams so the first run pays no
+        # spawn latency (the warm-up item of the execution roadmap).
+        session.warmup()
+        distributed = simulate(
+            dmp_target(RANK_GRIDS[args.ranks], lower_to_library_calls=True),
+            config=config,
+            session=session,
+        )
 
     error = np.abs(single_rank - distributed).max()
     print(f"{args.ranks}-rank x {args.threads_per_rank}-thread distributed "

@@ -10,8 +10,8 @@ Run with:  python examples/psyclone_advection.py
 
 import numpy as np
 
-from repro.frontends.psyclone import parse_fortran, reference_execute
-from repro.interp import Interpreter
+from repro.core import Session, cpu_target
+from repro.frontends.psyclone import PsycloneXDSLBackend, parse_fortran, reference_execute
 from repro.machine import (
     ALVEO_U280,
     ARCHER2_NODE,
@@ -33,20 +33,28 @@ def main() -> None:
     schedule = parse_fortran(workload.source)
     print(f"subroutine {schedule.name}: arrays {schedule.array_names()}")
 
-    # Compile through the shared stack and execute.
-    module = workload.build_module(dtype=np.float64)
+    # Compile through the shared stack and execute via the Session API: the
+    # PSyclone backend produces a CompiledProgram, the session plan runs it.
+    backend = PsycloneXDSLBackend(dtype=np.float64)
+    program = backend.compile(schedule, SHAPE, target=cpu_target())
     arrays = workload.arrays(dtype=np.float64)
     reference = {name: array.copy() for name, array in arrays.items()}
 
-    Interpreter(module).call(
-        schedule.name, *[arrays[name] for name in schedule.array_names()], workload.iterations
-    )
+    with Session() as session:
+        backend.run(
+            program,
+            [arrays[name] for name in schedule.array_names()],
+            workload.iterations,
+            function=schedule.name,
+            session=session,
+        )
     reference_execute(schedule, reference, halo=1, iterations=workload.iterations)
     error = max(np.abs(reference[name] - arrays[name]).max() for name in arrays)
     print(f"shared-stack vs reference Fortran semantics: max |difference| = {error:.3e}")
     assert error < 1e-10
 
     # Stencil fusion: the three independent PW stencils become one region.
+    module = workload.build_module(dtype=np.float64)
     infer_shapes(module)
     fused = fuse_applies(module)
     characteristics = characterize_module(module)

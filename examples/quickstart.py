@@ -9,7 +9,7 @@ Run with:  python examples/quickstart.py
 
 import numpy as np
 
-from repro.core import compile_stencil_program, cpu_target, run_local
+from repro.core import Session, cpu_target
 from repro.frontends.oec import StencilProgramBuilder
 from repro.ir import print_module
 
@@ -17,7 +17,7 @@ N = 64  # interior grid points
 TIMESTEPS = 50
 
 
-def build_jacobi_program():
+def build_jacobi_builder():
     """A double-buffered 1D Jacobi smoother: u_new = (u[-1] + u[0] + u[1]) / 3."""
     builder = StencilProgramBuilder("kernel", shape=(N,), halo=1, dtype="f64")
     u = builder.add_field("u")
@@ -32,15 +32,16 @@ def build_jacobi_program():
 
     builder.add_stencil(inputs=[u], output=v, body=body)
     builder.swap(u, v)  # double buffering between time steps
-    return builder.build()
+    return builder
 
 
 def main() -> None:
-    module = build_jacobi_program()
+    builder = build_jacobi_builder()
+    module = builder.build()
     print("=== stencil-level IR (excerpt) ===")
     print("\n".join(print_module(module).splitlines()[:14]))
 
-    program = compile_stencil_program(module, cpu_target())
+    program = builder.compile(cpu_target())
     print(f"\nstencil regions: {program.stencil_regions}")
     print(f"flops per cell : {program.characteristics.applies[0].flops_per_cell}")
 
@@ -51,7 +52,10 @@ def main() -> None:
     u[0] = u[-1] = 0.0
     v[:] = u
 
-    result = run_local(program, [u, v, TIMESTEPS])
+    # The Session owns the runtime; the Plan is the repeatable hot path.
+    with Session() as session:
+        plan = session.plan(program)
+        result = plan.run([u, v], [TIMESTEPS])
     final = u if TIMESTEPS % 2 == 0 else v
     print(f"\nafter {TIMESTEPS} Jacobi sweeps:")
     print(f"  max value  : {final.max():.6f} (smoothed down from 1.0)")

@@ -1,17 +1,26 @@
-"""The shared compilation stack: targets, pipeline and executors.
+"""The shared compilation stack: targets, pipeline, sessions and executors.
 
 This is the paper's primary contribution packaged behind a small API::
 
-    from repro.core import compile_stencil_program, dmp_target, run_distributed
+    from repro.core import ExecutionConfig, Session, compile_stencil_program, dmp_target
 
     program = compile_stencil_program(stencil_module, dmp_target((2, 2)))
-    run_distributed(program, [u0, u1], [timesteps])
+    with Session(ExecutionConfig(runtime="processes")) as session:
+        plan = session.plan(program)
+        plan.run([u0, u1], [timesteps])      # repeatable, amortized hot path
+
+The legacy one-shot helpers ``run_local`` / ``run_distributed`` are
+deprecated shims over a default session (bit-identical results).
 """
 
-from .executor import (
+from .config import (
     EXECUTION_BACKENDS,
     EXECUTION_RUNTIMES,
+    ExecutionConfig,
     ExecutionError,
+    RuntimeFallbackWarning,
+)
+from .executor import (
     ExecutionResult,
     gather_field,
     local_field_slices,
@@ -20,6 +29,7 @@ from .executor import (
     scatter_field,
 )
 from .pipeline import CompilationError, CompiledProgram, compile_stencil_program
+from .session import Plan, Session, SessionCounters, default_session
 from .targets import (
     Target,
     TargetKind,
@@ -34,8 +44,9 @@ __all__ = [
     "Target", "TargetKind",
     "cpu_target", "smp_target", "dmp_target", "gpu_target", "fpga_target",
     "CompiledProgram", "compile_stencil_program", "CompilationError",
+    "ExecutionConfig", "Session", "Plan", "SessionCounters", "default_session",
     "run_local", "run_distributed", "scatter_field", "gather_field",
     "local_field_slices",
-    "ExecutionResult", "ExecutionError", "EXECUTION_BACKENDS",
-    "EXECUTION_RUNTIMES",
+    "ExecutionResult", "ExecutionError", "RuntimeFallbackWarning",
+    "EXECUTION_BACKENDS", "EXECUTION_RUNTIMES",
 ]

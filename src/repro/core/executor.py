@@ -1,59 +1,50 @@
-"""Execution helpers: run compiled programs locally or on the simulated cluster.
+"""Execution primitives and the deprecated one-shot helpers.
 
-The executor plays the role of the job launcher + MPI runtime of the paper's
-testbed: for distributed targets it scatters the global fields into per-rank
-local buffers (core slab plus halo), runs every rank of the SPMD program —
-in its own thread against a :class:`~repro.interp.mpi_runtime.SimulatedMPI`
-world (``runtime="threads"``), or in its own OS process with shared-memory
-field buffers (``runtime="processes"``, see :mod:`repro.runtime`) — and
-gathers the cores back into the global arrays.  Both runtimes produce
-bit-identical fields and matching communication statistics; the process
-runtime additionally delivers real multi-core speedup because ranks no longer
-share one GIL.
+The scatter/gather geometry helpers and :class:`ExecutionResult` live here;
+the execution engine itself moved to :mod:`repro.core.session`, where a
+:class:`~repro.core.session.Session` owns the runtime resources (worker
+pool, shared-memory blocks, thread teams) and a
+:class:`~repro.core.session.Plan` pre-resolves the per-run work.
+
+:func:`run_local` and :func:`run_distributed` remain as **deprecated shims**
+delegating to a process-wide default session: bit-identical fields and
+statistics, but a fresh plan per call — repeated callers should hold a
+``Session``/``Plan`` pair instead::
+
+    from repro.core import ExecutionConfig, Session
+
+    with Session(ExecutionConfig(runtime="processes")) as session:
+        plan = session.plan(program)
+        for _ in range(many):
+            plan.run([u0, u1], [timesteps])
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from typing import Any, Optional, Sequence
 
 import numpy as np
 
-from ..interp import CommStatistics, ExecStatistics, Interpreter, SimulatedMPI
+from ..interp import CommStatistics, ExecStatistics
 from ..interp.vectorize import CompiledKernel
-from ..transforms.distribute import DecompositionStrategy, GridSlicingStrategy
-from .. import runtime as _process_runtime
+from ..transforms.distribute import DecompositionStrategy
+from .config import (
+    EXECUTION_BACKENDS,
+    EXECUTION_RUNTIMES,
+    ExecutionConfig,
+    ExecutionError,
+    RuntimeFallbackWarning,
+)
 from .pipeline import CompiledProgram
 
-
-class ExecutionError(Exception):
-    """Raised when a compiled program cannot be executed."""
-
-
-#: Valid values of the ``backend`` parameter of :func:`run_local` /
-#: :func:`run_distributed`:
-#:
-#: * ``"auto"`` (default) — vectorize every loop nest that can be proven
-#:   vectorizable (including the min-clamped *tiled* stencil_to_scf output,
-#:   ``scf.reduce`` reductions and ``arith.select`` mask chains), tree-walk
-#:   the rest (always safe, usually fastest);
-#: * ``"vectorized"`` — like auto, but raise when *nothing* in the function
-#:   could be vectorized (benchmarks use this to avoid silently measuring the
-#:   tree walker);
-#: * ``"interpreter"`` — force the per-cell tree walker everywhere (the
-#:   reference semantics).
-EXECUTION_BACKENDS = ("auto", "interpreter", "vectorized")
-
-#: Valid values of the ``runtime`` parameter of :func:`run_distributed`:
-#:
-#: * ``"threads"`` (default) — every rank runs in a Python thread of this
-#:   process against one shared :class:`~repro.interp.SimulatedMPI` world
-#:   (cheap, always available, serialized by the GIL outside NumPy);
-#: * ``"processes"`` — every rank runs in its own OS process from the
-#:   persistent worker pool, with shared-memory field buffers and
-#:   queue-backed messaging (real multi-core scaling).  Falls back to
-#:   ``"threads"`` automatically when shared memory is unavailable.
-EXECUTION_RUNTIMES = ("threads", "processes")
+__all__ = [
+    "EXECUTION_BACKENDS", "EXECUTION_RUNTIMES",
+    "ExecutionError", "ExecutionResult", "RuntimeFallbackWarning",
+    "run_local", "run_distributed",
+    "scatter_field", "gather_field", "local_field_slices",
+]
 
 
 def _kernel_for_backend(
@@ -92,6 +83,10 @@ class ExecutionResult:
     #: Intra-rank thread-team size of the run (the OpenMP level of the
     #: paper's hybrid MPI+OpenMP configurations; 1 = flat runs).
     threads_per_rank: int = 1
+    #: The runtime the caller asked for.  Differs from :attr:`runtime` only
+    #: when the request degraded (``"processes"`` falling back to
+    #: ``"threads"``), which also emits a :class:`RuntimeFallbackWarning`.
+    runtime_requested: str = "local"
 
     @property
     def total_cells_updated(self) -> int:
@@ -100,6 +95,11 @@ class ExecutionResult:
     @property
     def total_halo_swaps(self) -> int:
         return sum(stat.halo_swaps for stat in self.statistics)
+
+    @property
+    def degraded(self) -> bool:
+        """True when a requested runtime was unavailable and a fallback ran."""
+        return self.runtime != self.runtime_requested
 
 
 def local_field_slices(
@@ -181,6 +181,21 @@ def gather_field(
     global_array[tuple(global_slices)] = local_array[tuple(local_slices)]
 
 
+# ---------------------------------------------------------------------------
+# deprecated one-shot shims (delegating to the default session)
+# ---------------------------------------------------------------------------
+
+def _deprecated(name: str) -> None:
+    warnings.warn(
+        f"{name}() is deprecated; use repro.core.Session/Plan instead "
+        "(session = Session(ExecutionConfig(...)); plan = session.plan(program); "
+        "plan.run(fields, scalars)) — plans amortize per-run setup across "
+        "repeated executions",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
 def run_local(
     program: CompiledProgram,
     arguments: Sequence[Any],
@@ -188,17 +203,18 @@ def run_local(
     function: Optional[str] = None,
     backend: str = "auto",
 ) -> ExecutionResult:
-    """Run a non-distributed compiled program in-process.
+    """Deprecated: run a non-distributed compiled program in-process.
 
-    ``backend`` selects the execution engine (see :data:`EXECUTION_BACKENDS`);
-    compiled vectorized kernels are cached on ``program`` keyed by function
-    name, so repeated calls skip recompilation.
+    Delegates to the default :class:`~repro.core.session.Session` with a
+    one-shot plan; prefer ``session.plan(program).run(arguments)``.
     """
-    function_name = function or _default_function(program)
-    kernel = _kernel_for_backend(program, function_name, backend)
-    interpreter = Interpreter(program.module, kernel=kernel)
-    interpreter.call(function_name, *arguments)
-    return ExecutionResult(statistics=[interpreter.stats])
+    _deprecated("run_local")
+    from .session import default_session
+
+    return default_session().run(
+        program, list(arguments), (), function=function,
+        config=ExecutionConfig(backend=backend),
+    )
 
 
 def run_distributed(
@@ -213,211 +229,26 @@ def run_distributed(
     runtime: str = "threads",
     threads_per_rank: int = 1,
 ) -> ExecutionResult:
-    """Run a distributed compiled program on the simulated MPI world.
+    """Deprecated: run a distributed compiled program on the simulated world.
 
-    ``global_fields`` are updated in place with the gathered results.  All
-    field arguments must come before the scalar arguments in the kernel's
-    signature (the convention every frontend in this project follows).
-    ``backend`` selects the execution engine (see :data:`EXECUTION_BACKENDS`);
-    the vectorized kernel is compiled once per process and shared by all
-    ranks.  ``runtime`` selects thread-ranks or OS-process-ranks (see
-    :data:`EXECUTION_RUNTIMES`); both produce bit-identical fields and
-    matching communication statistics.  ``threads_per_rank`` adds the OpenMP
-    level of the paper's hybrid configurations: each rank runs its vectorized
-    nests on an intra-rank thread team of that size (bit-identical to
-    ``threads_per_rank=1``; only wall-clock time changes).
-
-    Under ``runtime="processes"`` the per-rank buffers live in pooled
-    ``multiprocessing.shared_memory`` blocks: fields are scattered straight
-    into (and gathered straight out of) the blocks, and the blocks are
-    recycled across repeated runs — see ``CommStatistics.bytes_elided`` and
-    ``.shared_blocks_reused`` on the result.
+    Delegates to the default :class:`~repro.core.session.Session` with a
+    one-shot plan — every kwarg maps onto one
+    :class:`~repro.core.config.ExecutionConfig` field (see the README's
+    migration table).  ``global_fields`` are updated in place exactly as
+    before, and results/statistics are bit-identical to the Session API.
     """
+    _deprecated("run_distributed")
     if program.distribution is None or program.target.rank_grid is None:
         raise ExecutionError("program was not compiled for a distributed target")
-    if runtime not in EXECUTION_RUNTIMES:
-        raise ExecutionError(
-            f"unknown execution runtime {runtime!r}; expected one of "
-            f"{', '.join(EXECUTION_RUNTIMES)}"
-        )
-    threads_per_rank = int(threads_per_rank)
-    if threads_per_rank < 1:
-        raise ExecutionError("threads_per_rank must be at least 1")
-    function_name = function or _default_function(program)
-    if runtime == "processes" and not _process_runtime.processes_available():
-        runtime = "threads"  # automatic fallback: same semantics, one process
-    # The thread runtime shares one parent-compiled kernel across all ranks;
-    # process workers rebuild their own (the cache is process-local), so the
-    # parent only compiles when the kernel is used here — or when the
-    # backend="vectorized" nest-count validation requires it.
-    kernel: Optional[CompiledKernel] = None
-    if runtime == "threads" or backend == "vectorized":
-        kernel = _kernel_for_backend(program, function_name, backend)
-    elif backend not in EXECUTION_BACKENDS:
-        raise ExecutionError(
-            f"unknown execution backend {backend!r}; expected one of "
-            f"{', '.join(EXECUTION_BACKENDS)}"
-        )
-    strategy = GridSlicingStrategy(program.target.rank_grid)
-    domain = program.distribution.local_domain
-    halo_lower, halo_upper = domain.halo_lower, domain.halo_upper
-    if margin is None:
-        margin = halo_lower
+    from .session import default_session
 
-    if runtime == "processes":
-        statistics, comm_statistics = _run_spmd_shared_memory(
-            program, function_name, backend, global_fields, scalar_arguments,
-            strategy, halo_lower, halo_upper, margin, timeout, threads_per_rank,
-        )
-    else:
-        local_fields = [
-            [
-                scatter_field(field, strategy, rank, halo_lower, halo_upper, margin)
-                for field in global_fields
-            ]
-            for rank in range(strategy.rank_count)
-        ]
-        statistics, comm_statistics = _run_spmd_threads(
-            program, function_name, kernel, local_fields, scalar_arguments,
-            timeout, threads_per_rank,
-        )
-        for rank in range(strategy.rank_count):
-            for global_array, local_array in zip(global_fields, local_fields[rank]):
-                gather_field(
-                    global_array, local_array, strategy, rank,
-                    halo_lower, halo_upper, margin,
-                )
-
-    return ExecutionResult(
-        statistics=list(statistics),
-        messages_sent=comm_statistics.messages_sent,
-        bytes_sent=comm_statistics.bytes_sent,
-        comm_statistics=comm_statistics,
+    config = ExecutionConfig(
+        backend=backend,
         runtime=runtime,
-        threads_per_rank=threads_per_rank,
+        threads_per_rank=int(threads_per_rank),
+        margin=tuple(int(m) for m in margin) if margin is not None else None,
+        timeout=timeout,
     )
-
-
-def _run_spmd_shared_memory(
-    program: CompiledProgram,
-    function_name: str,
-    backend: str,
-    global_fields: Sequence[np.ndarray],
-    scalar_arguments: Sequence[Any],
-    strategy: GridSlicingStrategy,
-    halo_lower: Sequence[int],
-    halo_upper: Sequence[int],
-    margin: Sequence[int],
-    timeout: float,
-    threads_per_rank: int,
-) -> tuple[list[ExecStatistics], CommStatistics]:
-    """The process-runtime path with shared-memory copy elision.
-
-    Per-rank buffers are leased from the shared block pool, scattered into
-    directly, handed to the workers by name, and gathered from directly — no
-    intermediate per-rank arrays, no per-run block churn.
-    """
-    pool = _process_runtime.shared_field_pool()
-    leases: list[list] = []
-    try:
-        for rank in range(strategy.rank_count):
-            rank_leases: list = []
-            leases.append(rank_leases)
-            for field in global_fields:
-                rank_leases.append(
-                    _scatter_into_lease(field, pool, strategy, rank,
-                                        halo_lower, halo_upper, margin)
-                )
-        bytes_elided = sum(
-            2 * lease.array.nbytes
-            for rank_leases in leases for lease in rank_leases
-        )
-        blocks_reused = sum(
-            1 for rank_leases in leases for lease in rank_leases if lease.reused
-        )
-        statistics, comm_statistics = _process_runtime.run_program_processes(
-            program, function_name, backend, leases, scalar_arguments,
-            timeout=timeout, threads_per_rank=threads_per_rank,
-        )
-        for rank in range(strategy.rank_count):
-            for global_array, lease in zip(global_fields, leases[rank]):
-                gather_field(
-                    global_array, lease.array, strategy, rank,
-                    halo_lower, halo_upper, margin,
-                )
-    finally:
-        for rank_leases in leases:
-            for lease in rank_leases:
-                lease.release()
-    comm_statistics.bytes_elided = bytes_elided
-    comm_statistics.shared_blocks_reused = blocks_reused
-    return statistics, comm_statistics
-
-
-def _scatter_into_lease(
-    field: np.ndarray,
-    pool,
-    strategy: GridSlicingStrategy,
-    rank: int,
-    halo_lower: Sequence[int],
-    halo_upper: Sequence[int],
-    margin: Sequence[int],
-):
-    """Lease a shared block for one rank's slab and scatter straight into it."""
-    slices = local_field_slices(field, strategy, rank, halo_lower, halo_upper, margin)
-    shape = tuple(s.stop - s.start for s in slices)
-    lease = pool.lease(shape, field.dtype)
-    scatter_field(field, strategy, rank, halo_lower, halo_upper, margin,
-                  out=lease.array)
-    return lease
-
-
-def _run_spmd_threads(
-    program: CompiledProgram,
-    function_name: str,
-    kernel: Optional[CompiledKernel],
-    local_fields: Sequence[Sequence[np.ndarray]],
-    scalar_arguments: Sequence[Any],
-    timeout: float,
-    threads_per_rank: int = 1,
-) -> tuple[list[ExecStatistics], CommStatistics]:
-    """Run every rank in a thread of this process (the GIL-shared world)."""
-    size = len(local_fields)
-    world = SimulatedMPI(size, timeout=timeout)
-    statistics: list[Optional[ExecStatistics]] = [None] * size
-
-    def body(comm):
-        interpreter = Interpreter(
-            program.module, comm=comm, kernel=kernel, threads=threads_per_rank
-        )
-        interpreter.call(
-            function_name, *local_fields[comm.rank], *scalar_arguments
-        )
-        statistics[comm.rank] = interpreter.stats
-        return None
-
-    # run_spmd fails fast with the originating rank's exception, so a crashed
-    # rank can never leave us gathering half-written fields afterwards.
-    world.run_spmd(body, timeout=timeout)
-    missing = [rank for rank, stats in enumerate(statistics) if stats is None]
-    if missing:
-        raise ExecutionError(
-            f"ranks {missing} finished without reporting statistics; "
-            "the SPMD execution did not complete"
-        )
-    return list(statistics), world.statistics
-
-
-def _default_function(program: CompiledProgram) -> str:
-    names = sorted(program.function_names)
-    if not names:
-        raise ExecutionError("compiled module contains no function definitions")
-    if "kernel" in names:
-        return "kernel"
-    if len(names) == 1:
-        return names[0]
-    raise ExecutionError(
-        "compiled module defines several functions "
-        f"({', '.join(repr(n) for n in names)}) and none is named 'kernel'; "
-        "pass function=... to select one"
+    return default_session().run(
+        program, global_fields, scalar_arguments, function=function, config=config
     )

@@ -1,0 +1,744 @@
+"""Explicit execution lifecycle: sessions own runtime resources, plans own
+the per-program hot path.
+
+The paper's stack compiles once and runs many times; this module gives that
+shape a first-class API:
+
+* :class:`~repro.core.config.ExecutionConfig` — one validated configuration
+  object shared by every frontend (see :mod:`repro.core.config`);
+* :class:`Session` — a context manager that *owns* the execution resources
+  previously hidden behind module globals: the persistent OS-process worker
+  pool, the shared-memory field-block pool, the intra-rank thread teams and
+  the thread-world rank executor.  ``warmup()`` pre-spawns them, ``close()``
+  releases them, and every plan of the session reuses them across runs;
+* :class:`Plan` — returned by :meth:`Session.plan`; pre-resolves everything
+  per-run work used to recompute: the default-function lookup, the kernel
+  selection, the decomposition strategy and halo/margin geometry, the
+  scatter/gather slice plans, the shared-memory block leases, and the
+  cast/constant lookups of the interpreted time loop
+  (:func:`repro.interp.compile_block_plans`).  ``plan.run(fields, scalars)``
+  is therefore a thin hot path suitable for serving many requests.
+
+The legacy ``run_local`` / ``run_distributed`` helpers in
+:mod:`repro.core.executor` remain as deprecated shims delegating to a
+process-wide default session; they produce bit-identical fields and
+statistics, just without the amortization.
+"""
+
+from __future__ import annotations
+
+import threading
+import warnings
+from concurrent.futures import FIRST_EXCEPTION, ThreadPoolExecutor
+from concurrent.futures import wait as futures_wait
+from dataclasses import dataclass
+from typing import Any, Optional, Sequence
+
+import numpy as np
+
+from .. import runtime as _process_runtime
+from ..interp import Interpreter, SimulatedMPI, compile_block_plans
+from ..interp.interpreter import wrap_argument
+from ..interp.mpi_runtime import CommStatistics, MPIRuntimeError
+from ..interp.thread_team import ThreadTeam
+from ..interp.vectorize import CompiledKernel
+from ..runtime.stats import merge_comm_statistics, sort_rank_stats
+from ..transforms.distribute import GridSlicingStrategy
+from .config import (
+    ExecutionConfig,
+    ExecutionError,
+    RuntimeFallbackWarning,
+    normalize_margin,
+)
+from .executor import (
+    ExecutionResult,
+    _kernel_for_backend,
+    local_field_slices,
+)
+from .pipeline import CompiledProgram
+
+
+def _default_function(program: CompiledProgram) -> str:
+    names = sorted(program.function_names)
+    if not names:
+        raise ExecutionError("compiled module contains no function definitions")
+    if "kernel" in names:
+        return "kernel"
+    if len(names) == 1:
+        return names[0]
+    raise ExecutionError(
+        "compiled module defines several functions "
+        f"({', '.join(repr(n) for n in names)}) and none is named 'kernel'; "
+        "pass function=... to select one"
+    )
+
+
+@dataclass
+class SessionCounters:
+    """Observable lifecycle counters (tests assert reuse across runs)."""
+
+    plans_created: int = 0
+    runs_completed: int = 0
+    warmups: int = 0
+    #: Thread-world rank executors constructed (reuse keeps this at 1).
+    rank_executors_created: int = 0
+    #: Session-owned intra-rank thread teams constructed.
+    thread_teams_created: int = 0
+
+
+class Session:
+    """Owns the execution runtime: worker pool, shared blocks, thread teams.
+
+    ::
+
+        with Session(ExecutionConfig(runtime="processes", ranks=4)) as session:
+            plan = session.plan(program)
+            for request in requests:
+                plan.run([u0, u1], [timesteps])   # thin, amortized hot path
+
+    A session is cheap to construct — resources are spawned on first use, or
+    ahead of time by :meth:`warmup` (also triggered by entering a session
+    whose config has ``warm_start=True``).  ``close()`` (or leaving the
+    ``with`` block) releases everything the session created; a closed session
+    rejects further work.  One-shot callers can use :meth:`run`, which builds
+    and disposes a plan around a single execution.
+    """
+
+    def __init__(self, config: Optional[ExecutionConfig] = None, **overrides):
+        self.config = ExecutionConfig.coerce(config, **overrides)
+        self.counters = SessionCounters()
+        self._closed = False
+        self._lock = threading.Lock()
+        #: Serializes thread-world runs: interleaving two SPMD worlds on one
+        #: bounded executor could starve ranks of a partially-admitted run.
+        self._thread_run_lock = threading.Lock()
+        self._plans: list[Plan] = []
+        self._teams: dict[int, ThreadTeam] = {}
+        self._rank_executor: Optional[ThreadPoolExecutor] = None
+        self._rank_executor_size = 0
+        #: Worker-pool ownership; per-session by default, the process-wide
+        #: manager/pool pair for the default (shim-compatibility) session.
+        self._pool_manager = _process_runtime.PoolManager()
+        self._field_pool = _process_runtime.SharedFieldPool()
+        self._owns_runtime = True
+
+    # -- lifecycle ------------------------------------------------------------
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    @property
+    def worker_pools_created(self) -> int:
+        """How many OS-process worker pools this session's manager spawned."""
+        return self._pool_manager.pools_created
+
+    def _ensure_open(self) -> None:
+        if self._closed:
+            raise ExecutionError("session is closed; create a new Session")
+
+    def __enter__(self) -> "Session":
+        self._ensure_open()
+        if self.config.warm_start:
+            self.warmup()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def close(self) -> None:
+        """Release every resource this session created (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        for plan in list(self._plans):
+            plan.close()
+        with self._lock:
+            if self._rank_executor is not None:
+                self._rank_executor.shutdown(wait=False)
+                self._rank_executor = None
+                self._rank_executor_size = 0
+            for team in self._teams.values():
+                team.shutdown()
+            self._teams.clear()
+        if self._owns_runtime:
+            self._pool_manager.shutdown()
+            self._field_pool.clear()
+
+    def warmup(
+        self,
+        program: Optional[CompiledProgram] = None,
+        *,
+        ranks: Optional[int] = None,
+        threads_per_rank: Optional[int] = None,
+        runtime: Optional[str] = None,
+    ) -> None:
+        """Pre-spawn the runtime so the first ``plan.run()`` pays no latency.
+
+        Spawns the worker processes (``runtime="processes"``) or the rank
+        threads (``runtime="threads"``), the intra-rank thread teams on both
+        sides, and — when ``program`` is given — ships the pickled program to
+        the workers ahead of the first run.  ``ranks`` defaults to the
+        program's rank grid, then to ``config.ranks``; ``runtime`` defaults to
+        the session config's (``Plan.warmup`` passes the plan's resolved
+        runtime, which may override the session's).
+        """
+        self._ensure_open()
+        config = self.config
+        if ranks is None:
+            if program is not None and program.target.rank_grid is not None:
+                ranks = GridSlicingStrategy(program.target.rank_grid).rank_count
+            else:
+                ranks = config.ranks
+        threads = threads_per_rank if threads_per_rank is not None \
+            else config.threads_per_rank
+        runtime = runtime if runtime is not None else config.runtime
+        if ranks is not None and ranks >= 1:
+            if runtime == "processes" and \
+                    _process_runtime.processes_available():
+                self._pool_manager.warmup(ranks, threads, timeout=config.timeout)
+                if program is not None:
+                    pool = self._pool_manager.acquire(ranks)
+                    pool.ship_program(program, ranks)
+            else:
+                self._prespawn_rank_threads(ranks)
+                if threads > 1:
+                    self._team(threads)
+        elif threads > 1:
+            self._team(threads)
+        self.counters.warmups += 1
+
+    # -- planning and running -------------------------------------------------
+    def plan(
+        self,
+        program: CompiledProgram,
+        function: Optional[str] = None,
+        config: Optional[ExecutionConfig] = None,
+        **overrides,
+    ) -> "Plan":
+        """Pre-resolve one program/function pair for repeated execution.
+
+        ``config`` (default: the session's) with ``overrides`` applied
+        configures the plan; the plan is tracked by the session and released
+        with it (or earlier via ``plan.close()``).
+        """
+        self._ensure_open()
+        resolved = ExecutionConfig.coerce(config or self.config, **overrides)
+        plan = Plan(self, program, function, resolved)
+        self._plans.append(plan)
+        self.counters.plans_created += 1
+        return plan
+
+    def run(
+        self,
+        program: CompiledProgram,
+        fields: Sequence[np.ndarray],
+        scalars: Sequence[Any] = (),
+        *,
+        function: Optional[str] = None,
+        config: Optional[ExecutionConfig] = None,
+        **overrides,
+    ) -> ExecutionResult:
+        """One-shot convenience: plan, run once, dispose the plan.
+
+        One-shot runs keep the legacy execution discipline — fresh daemon
+        rank threads per run, no shared gang — so the deprecated shims built
+        on this method behave (and scale under caller concurrency) exactly
+        like the pre-session helpers.  Hold a :meth:`plan` to amortize.
+        """
+        self._ensure_open()
+        resolved = ExecutionConfig.coerce(config or self.config, **overrides)
+        plan = Plan(self, program, function, resolved, one_shot=True)
+        self._plans.append(plan)
+        self.counters.plans_created += 1
+        try:
+            return plan.run(fields, scalars)
+        finally:
+            plan.close()
+
+    # -- session-owned resources ----------------------------------------------
+    def _team(self, size: int) -> Optional[ThreadTeam]:
+        """The session-owned intra-rank thread team of ``size`` threads."""
+        if size <= 1:
+            return None
+        with self._lock:
+            team = self._teams.get(size)
+            if team is None:
+                team = ThreadTeam(size)
+                self._teams[size] = team
+                self.counters.thread_teams_created += 1
+            return team
+
+    def _acquire_rank_executor(self, size: int) -> ThreadPoolExecutor:
+        with self._lock:
+            if self._rank_executor is None or self._rank_executor_size < size:
+                if self._rank_executor is not None:
+                    self._rank_executor.shutdown(wait=False)
+                self._rank_executor = ThreadPoolExecutor(
+                    max_workers=size, thread_name_prefix="repro-session-rank"
+                )
+                self._rank_executor_size = size
+                self.counters.rank_executors_created += 1
+            return self._rank_executor
+
+    def _discard_rank_executor(self) -> None:
+        """Drop a poisoned executor (stale blocked rank threads occupy it)."""
+        with self._lock:
+            if self._rank_executor is not None:
+                self._rank_executor.shutdown(wait=False)
+                self._rank_executor = None
+                self._rank_executor_size = 0
+
+    def _prespawn_rank_threads(self, size: int) -> None:
+        """Force the rank executor to actually start ``size`` worker threads."""
+        executor = self._acquire_rank_executor(size)
+        barrier = threading.Barrier(size)
+        futures = [executor.submit(barrier.wait, 30.0) for _ in range(size)]
+        done, pending = futures_wait(futures, timeout=60.0)
+        if pending or any(f.exception() is not None for f in done):
+            self._discard_rank_executor()
+            raise ExecutionError("session warm-up failed to start rank threads")
+
+    def _run_threads_world(self, size: int, body, timeout: float) -> SimulatedMPI:
+        """Run ``body(comm)`` per rank on the persistent rank executor.
+
+        Same semantics as ``SimulatedMPI.run_spmd`` — shared join deadline,
+        fail-fast on the first rank error — but without spawning ``size``
+        fresh OS threads per run.  A failed or timed-out run discards the
+        executor (its blocked rank threads die on their own communication
+        timeouts); the next run starts a fresh one.
+        """
+        with self._thread_run_lock:
+            world = SimulatedMPI(size, timeout=timeout)
+            executor = self._acquire_rank_executor(size)
+            futures = [
+                executor.submit(body, world.communicator(rank))
+                for rank in range(size)
+            ]
+            done, pending = futures_wait(
+                futures, timeout=timeout, return_when=FIRST_EXCEPTION
+            )
+            for future in done:
+                error = future.exception()
+                if error is not None:
+                    self._discard_rank_executor()
+                    raise error
+            if pending:
+                self._discard_rank_executor()
+                raise MPIRuntimeError(
+                    f"{len(pending)} rank(s) did not finish within {timeout}s "
+                    "(deadlock?)"
+                )
+            return world
+
+
+# ---------------------------------------------------------------------------
+# plans
+# ---------------------------------------------------------------------------
+
+class _RunBuffers:
+    """Per-field-signature state a plan reuses across runs.
+
+    Holds the pre-computed scatter/gather slice tuples for every
+    (rank, field) pair plus the per-rank local buffers: preallocated NumPy
+    arrays for the thread world, leased shared-memory blocks (kept across
+    runs) for the process world.
+    """
+
+    __slots__ = ("signature", "scatter_slices", "gather_slices", "locals",
+                 "wrapped", "leases", "specs", "pool_generation",
+                 "fresh_reused", "runs")
+
+    def __init__(self):
+        self.signature = None
+        self.scatter_slices: list[list[tuple]] = []
+        self.gather_slices: list[list[tuple[tuple, tuple]]] = []
+        self.locals: list[list[np.ndarray]] = []
+        self.wrapped: list[list] = []
+        self.leases: list[list] = []
+        self.specs: list[list] = []
+        self.pool_generation = -1
+        self.fresh_reused = 0
+        self.runs = 0
+
+
+class Plan:
+    """A pre-resolved execution of one function of one compiled program.
+
+    Construction performs every piece of work the legacy helpers repeated on
+    each call — function lookup, kernel compilation/selection, decomposition
+    geometry, interpreter block plans, runtime fallback resolution — and the
+    first :meth:`run` additionally fixes the scatter/gather slice plans and
+    buffers for the observed field shapes.  Subsequent runs only scatter,
+    execute and gather.
+    """
+
+    def __init__(
+        self,
+        session: Session,
+        program: CompiledProgram,
+        function: Optional[str],
+        config: ExecutionConfig,
+        one_shot: bool = False,
+    ):
+        self.session = session
+        self.program = program
+        self.config = config
+        #: One-shot plans (built by :meth:`Session.run` and the deprecated
+        #: shims) keep the legacy thread-per-run discipline instead of the
+        #: session's persistent rank gang.
+        self.one_shot = one_shot
+        self.function = function or _default_function(program)
+        self.distributed = (
+            program.distribution is not None and program.target.rank_grid is not None
+        )
+        self.runs_completed = 0
+        self._closed = False
+        self._buffers: Optional[_RunBuffers] = None
+        #: Serializes the scatter-execute-gather span: the plan's local
+        #: buffers are shared state, so two threads racing the same plan
+        #: would overwrite each other's inputs mid-run.
+        self._run_lock = threading.Lock()
+
+        if self.distributed:
+            self.runtime_requested = config.runtime
+            runtime = config.runtime
+            if runtime == "processes" and not _process_runtime.processes_available():
+                runtime = "threads"
+                warnings.warn(
+                    "runtime='processes' was requested but the process runtime "
+                    "is unavailable on this platform; falling back to "
+                    "runtime='threads' (bit-identical results, no multi-core "
+                    "scaling). Compare ExecutionResult.runtime_requested with "
+                    ".runtime to detect degraded runs.",
+                    RuntimeFallbackWarning,
+                    stacklevel=3,
+                )
+            self.runtime = runtime
+        else:
+            self.runtime = self.runtime_requested = "local"
+
+        # Kernel selection: the thread world and local runs share one
+        # parent-compiled kernel; process workers rebuild their own, so the
+        # parent only compiles when the kernel is used here — or when the
+        # backend="vectorized" nest-count validation requires it.
+        self.kernel: Optional[CompiledKernel] = None
+        if self.runtime in ("local", "threads") or config.backend == "vectorized":
+            self.kernel = _kernel_for_backend(program, self.function, config.backend)
+        self.overlap = config.resolved_overlap()
+
+        # Interpreter pre-resolution: the function table (built once instead
+        # of once per rank per run) and the pre-resolved block plans of the
+        # time loop (constants materialized, casts and handlers pre-bound).
+        self._functions = {}
+        from ..dialects import func as _func
+
+        for op in program.module.walk():
+            if isinstance(op, _func.FuncOp):
+                self._functions[op.sym_name] = op
+        self._func_op = self._functions[self.function]
+        self._block_plans = compile_block_plans(self._func_op)
+
+        if self.distributed:
+            self.strategy = GridSlicingStrategy(program.target.rank_grid)
+            if config.ranks is not None and config.ranks != self.strategy.rank_count:
+                raise ExecutionError(
+                    f"config.ranks={config.ranks} conflicts with the program's "
+                    f"rank grid {program.target.rank_grid} "
+                    f"({self.strategy.rank_count} ranks)"
+                )
+            domain = program.distribution.local_domain
+            self.halo_lower = domain.halo_lower
+            self.halo_upper = domain.halo_upper
+            self.margin = normalize_margin(config.margin, self.halo_lower)
+
+    # -- lifecycle ------------------------------------------------------------
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def close(self) -> None:
+        """Release the plan's buffers (leased shared blocks return to the pool)."""
+        if self._closed:
+            return
+        self._closed = True
+        self._release_buffers()
+        try:
+            self.session._plans.remove(self)
+        except ValueError:
+            pass
+
+    def _release_buffers(self) -> None:
+        buffers = self._buffers
+        self._buffers = None
+        if buffers is None:
+            return
+        for rank_leases in buffers.leases:
+            for lease in rank_leases:
+                lease.release()
+
+    def warmup(self) -> None:
+        """Pre-spawn this plan's runtime (workers, teams) and ship the program."""
+        ranks = self.strategy.rank_count if self.distributed else None
+        self.session.warmup(
+            self.program if self.runtime == "processes" else None,
+            ranks=ranks,
+            threads_per_rank=self.config.threads_per_rank,
+            # The plan's *resolved* runtime: it may override the session's,
+            # and a processes->threads fallback must warm threads instead.
+            runtime=self.runtime if self.distributed else "threads",
+        )
+
+    # -- the hot path ---------------------------------------------------------
+    def run(
+        self, fields: Sequence[np.ndarray], scalars: Sequence[Any] = ()
+    ) -> ExecutionResult:
+        """Execute once: scatter, run every rank, gather.  Repeatable."""
+        if self._closed:
+            raise ExecutionError("plan is closed; create a new plan")
+        self.session._ensure_open()
+        if not self.distributed:
+            result = self._run_local(fields, scalars)
+        else:
+            for index, array in enumerate(fields):
+                if not isinstance(array, np.ndarray):
+                    raise ExecutionError(
+                        f"distributed field {index} is {type(array).__name__}, "
+                        "not a numpy array; pass scalar arguments (e.g. the "
+                        "timestep count) via the scalars sequence"
+                    )
+            # The plan's buffers are shared state: serialize the whole
+            # scatter-execute-gather span against concurrent callers.
+            with self._run_lock:
+                if self.runtime == "processes":
+                    result = self._run_processes(fields, scalars)
+                else:
+                    result = self._run_threads(fields, scalars)
+        self.runs_completed += 1
+        self.session.counters.runs_completed += 1
+        return result
+
+    def _run_local(
+        self, fields: Sequence[np.ndarray], scalars: Sequence[Any]
+    ) -> ExecutionResult:
+        config = self.config
+        interpreter = Interpreter(
+            self.program.module,
+            kernel=self.kernel,
+            threads=config.threads_per_rank,
+            overlap_halos=self.overlap,
+            functions=self._functions,
+            block_plans=self._block_plans,
+            team=self.session._team(config.threads_per_rank),
+        )
+        interpreter.call(self.function, *fields, *scalars)
+        return ExecutionResult(
+            statistics=[interpreter.stats],
+            runtime="local",
+            runtime_requested="local",
+            threads_per_rank=config.threads_per_rank,
+        )
+
+    def _buffers_for(self, fields: Sequence[np.ndarray]) -> _RunBuffers:
+        """The cached slice plans and local buffers for these field shapes."""
+        signature = tuple((array.shape, array.dtype.str) for array in fields)
+        buffers = self._buffers
+        if buffers is not None and buffers.signature == signature:
+            if self.runtime != "processes" or \
+                    buffers.pool_generation == self.session._field_pool.generation:
+                return buffers
+        self._release_buffers()
+        buffers = _RunBuffers()
+        buffers.signature = signature
+        strategy, margin = self.strategy, self.margin
+        halo_lower, halo_upper = self.halo_lower, self.halo_upper
+        leased = self.runtime == "processes"
+        if leased:
+            pool = self.session._field_pool
+            buffers.pool_generation = pool.generation
+        for rank in range(strategy.rank_count):
+            scatter_row, gather_row, local_row = [], [], []
+            lease_row, spec_row = [], []
+            for array in fields:
+                slices = local_field_slices(
+                    array, strategy, rank, halo_lower, halo_upper, margin
+                )
+                scatter_row.append(slices)
+                shape = tuple(s.stop - s.start for s in slices)
+                core_shape = tuple(
+                    int(extent) - 2 * int(m)
+                    for extent, m in zip(array.shape, margin)
+                )
+                start, end = strategy.global_slab(core_shape, rank)
+                gather_row.append((
+                    tuple(
+                        slice(start[d] + margin[d], end[d] + margin[d])
+                        for d in range(array.ndim)
+                    ),
+                    tuple(
+                        slice(halo_lower[d], halo_lower[d] + (end[d] - start[d]))
+                        for d in range(array.ndim)
+                    ),
+                ))
+                if leased:
+                    lease = pool.lease(shape, array.dtype)
+                    lease_row.append(lease)
+                    spec_row.append(lease.spec)
+                    local_row.append(lease.array)
+                    if lease.reused:
+                        buffers.fresh_reused += 1
+                else:
+                    local_row.append(np.empty(shape, dtype=array.dtype))
+            buffers.scatter_slices.append(scatter_row)
+            buffers.gather_slices.append(gather_row)
+            buffers.locals.append(local_row)
+            # Pre-wrap the stable local buffers into interpreter values once;
+            # every later run replays them through call_prepared.
+            buffers.wrapped.append([
+                wrap_argument(local, block_arg.type)
+                for local, block_arg in zip(
+                    local_row, self._func_op.body.block.args
+                )
+            ])
+            if leased:
+                buffers.leases.append(lease_row)
+                buffers.specs.append(spec_row)
+        self._buffers = buffers
+        return buffers
+
+    def _scatter(self, buffers: _RunBuffers, fields: Sequence[np.ndarray]) -> None:
+        for rank in range(self.strategy.rank_count):
+            slices_row = buffers.scatter_slices[rank]
+            local_row = buffers.locals[rank]
+            for index, array in enumerate(fields):
+                local_row[index][...] = array[slices_row[index]]
+
+    def _gather(self, buffers: _RunBuffers, fields: Sequence[np.ndarray]) -> None:
+        for rank in range(self.strategy.rank_count):
+            gather_row = buffers.gather_slices[rank]
+            local_row = buffers.locals[rank]
+            for index, array in enumerate(fields):
+                global_slices, local_slices = gather_row[index]
+                array[global_slices] = local_row[index][local_slices]
+
+    def _run_threads(
+        self, fields: Sequence[np.ndarray], scalars: Sequence[Any]
+    ) -> ExecutionResult:
+        config = self.config
+        buffers = self._buffers_for(fields)
+        expected = len(self._func_op.body.block.args)
+        provided = len(fields) + len(scalars)
+        if provided != expected:
+            raise ExecutionError(
+                f"{self.function} expects {expected} arguments, got {provided}"
+            )
+        self._scatter(buffers, fields)
+        size = self.strategy.rank_count
+        statistics: list = [None] * size
+        scalars = list(scalars)
+        team = self.session._team(config.threads_per_rank)
+
+        def body(comm) -> None:
+            interpreter = Interpreter(
+                self.program.module,
+                comm=comm,
+                kernel=self.kernel,
+                threads=config.threads_per_rank,
+                overlap_halos=self.overlap,
+                functions=self._functions,
+                block_plans=self._block_plans,
+                team=team,
+            )
+            interpreter.call_prepared(
+                self._func_op, [*buffers.wrapped[comm.rank], *scalars]
+            )
+            statistics[comm.rank] = interpreter.stats
+
+        if self.one_shot:
+            # Legacy discipline: fresh daemon rank threads, one shared join
+            # deadline, fail-fast on the first rank error.
+            world = SimulatedMPI(size, timeout=config.timeout)
+            world.run_spmd(body, timeout=config.timeout)
+        else:
+            world = self.session._run_threads_world(size, body, config.timeout)
+        missing = [rank for rank, stats in enumerate(statistics) if stats is None]
+        if missing:
+            raise ExecutionError(
+                f"ranks {missing} finished without reporting statistics; "
+                "the SPMD execution did not complete"
+            )
+        self._gather(buffers, fields)
+        return self._result(list(statistics), world.statistics)
+
+    def _run_processes(
+        self, fields: Sequence[np.ndarray], scalars: Sequence[Any]
+    ) -> ExecutionResult:
+        config = self.config
+        buffers = self._buffers_for(fields)
+        self._scatter(buffers, fields)
+        reports = self.session._pool_manager.run_program_specs(
+            self.program, self.function, config.backend, buffers.specs,
+            list(scalars), config.timeout, config.threads_per_rank,
+        )
+        ordered = sort_rank_stats(reports)
+        statistics = [report.exec_stats for report in ordered]
+        comm = merge_comm_statistics([report.comm_stats for report in ordered])
+        # Copy-elision accounting: scatter wrote straight into (and gather
+        # reads straight out of) the leased blocks — two memcpys per field
+        # per rank elided.  On the first run of a buffer set the reuse count
+        # reflects the pool's free list; afterwards every held lease is by
+        # definition recycled across runs.
+        comm.bytes_elided = sum(
+            2 * local.nbytes for row in buffers.locals for local in row
+        )
+        if buffers.runs > 0:
+            comm.shared_blocks_reused = self._lease_count(buffers)
+        else:
+            comm.shared_blocks_reused = buffers.fresh_reused
+        buffers.runs += 1
+        self._gather(buffers, fields)
+        return self._result(statistics, comm)
+
+    @staticmethod
+    def _lease_count(buffers: _RunBuffers) -> int:
+        return sum(len(row) for row in buffers.leases)
+
+    def _result(
+        self, statistics: list, comm: CommStatistics
+    ) -> ExecutionResult:
+        return ExecutionResult(
+            statistics=statistics,
+            messages_sent=comm.messages_sent,
+            bytes_sent=comm.bytes_sent,
+            comm_statistics=comm,
+            runtime=self.runtime,
+            threads_per_rank=self.config.threads_per_rank,
+            runtime_requested=self.runtime_requested,
+        )
+
+
+# ---------------------------------------------------------------------------
+# the default session (compatibility surface for the deprecated shims)
+# ---------------------------------------------------------------------------
+
+_DEFAULT_SESSION: Optional[Session] = None
+_DEFAULT_SESSION_LOCK = threading.Lock()
+
+
+def default_session() -> Session:
+    """The process-wide session behind ``run_local`` / ``run_distributed``.
+
+    Shares the process-wide worker-pool manager and shared-memory field pool
+    (so legacy callers keep the PR 2-4 amortization and the existing
+    ``shutdown_worker_pool()`` teardown keeps working), and is replaced
+    transparently if something closed it.
+    """
+    global _DEFAULT_SESSION
+    with _DEFAULT_SESSION_LOCK:
+        session = _DEFAULT_SESSION
+        if session is None or session.closed:
+            session = Session()
+            session._pool_manager = _process_runtime.default_pool_manager()
+            session._field_pool = _process_runtime.shared_field_pool()
+            session._owns_runtime = False
+            _DEFAULT_SESSION = session
+        return session

@@ -21,11 +21,12 @@ import numpy as np
 
 from ...core import (
     CompiledProgram,
+    ExecutionConfig,
+    Session,
     Target,
     compile_stencil_program,
     cpu_target,
-    run_distributed,
-    run_local,
+    default_session,
 )
 from ...dialects import arith, builtin, func, scf, stencil
 from ...ir import Builder, FunctionType, f32, f64, index
@@ -326,9 +327,11 @@ class Operator:
         *,
         backend: str = "xdsl",
         target: Optional[Target] = None,
-        runtime: str = "threads",
-        threads_per_rank: int = 1,
+        runtime: Optional[str] = None,
+        threads_per_rank: Optional[int] = None,
         name: str = "kernel",
+        config: Optional[ExecutionConfig] = None,
+        session: Optional[Session] = None,
     ):
         if isinstance(equations, Eq):
             equations = [equations]
@@ -339,15 +342,30 @@ class Operator:
         self.equations = list(equations)
         self.backend = backend
         self.target = target or cpu_target()
-        #: Distributed execution runtime ("threads" or "processes"); only
-        #: consulted when the target is distributed.
-        self.runtime = runtime
-        #: Intra-rank thread-team size (the OpenMP level of the hybrid
-        #: MPI+OpenMP configurations); only consulted when distributed.
-        self.threads_per_rank = threads_per_rank
+        #: Execution configuration (one object across all frontends); the
+        #: legacy ``runtime=`` / ``threads_per_rank=`` kwargs fold into it.
+        self.config = ExecutionConfig.coerce(
+            config, runtime=runtime, threads_per_rank=threads_per_rank
+        )
+        #: The Session owning the runtime resources; ``None`` uses the
+        #: process-wide default session.
+        self.session = session
         self.name = name
         self._compiled: Optional[CompiledProgram] = None
         self._compiled_dt: Optional[float] = None
+        #: The pre-resolved execution plan for the compiled program, reused
+        #: across apply() calls (the amortized hot path of repro.core.session).
+        self._plan = None
+
+    @property
+    def runtime(self) -> str:
+        """Distributed execution runtime (legacy accessor onto the config)."""
+        return self.config.runtime
+
+    @property
+    def threads_per_rank(self) -> int:
+        """Intra-rank thread-team size (legacy accessor onto the config)."""
+        return self.config.threads_per_rank
 
     # -- compilation ------------------------------------------------------------
     def compile(self, dt: float) -> CompiledProgram:
@@ -359,6 +377,9 @@ class Operator:
         self._compiled = compile_stencil_program(module, self.target)
         self._compiled_dt = dt
         self._lowerer = lowerer
+        if self._plan is not None:
+            self._plan.close()
+            self._plan = None
         return self._compiled
 
     def stencil_module(self, dt: float = 1.0) -> builtin.ModuleOp:
@@ -386,14 +407,22 @@ class Operator:
             return
         program = self.compile(dt)
         arguments = self._field_arguments()
-        if program.target.is_distributed:
-            run_distributed(
-                program, arguments, [int(time)],
-                function=self.name, runtime=self.runtime,
-                threads_per_rank=self.threads_per_rank,
-            )
-        else:
-            run_local(program, [*arguments, int(time)], function=self.name)
+        plan = self.plan(dt)
+        plan.run(arguments, [int(time)])
+
+    def plan(self, dt: float = 1.0e-3):
+        """The session :class:`~repro.core.session.Plan` for this operator.
+
+        Compiled (and planned) once, reused across ``apply()`` calls; a new
+        ``dt`` recompiles and re-plans.
+        """
+        program = self.compile(dt)
+        plan = self._plan
+        if plan is None or plan.closed or plan.session.closed:
+            session = self.session or default_session()
+            plan = session.plan(program, function=self.name, config=self.config)
+            self._plan = plan
+        return plan
 
     def _field_arguments(self) -> list[np.ndarray]:
         lowerer = _EquationLowerer(self.equations, self._compiled_dt or 1.0, self.name)

@@ -167,3 +167,17 @@ class StencilProgramBuilder:
             )
         body.insert(scf.YieldOp(yielded))
         return builtin.ModuleOp([kernel])
+
+    def compile(self, target=None):
+        """Build the module and run the shared pipeline for ``target``.
+
+        The OEC analogue of ``Operator.compile``: one call from builder state
+        to a :class:`~repro.core.CompiledProgram` ready for a session plan::
+
+            program = builder.compile(dmp_target((2, 2)))
+            with Session(ExecutionConfig(runtime="processes")) as session:
+                session.plan(program).run([u, v], [timesteps])
+        """
+        from ...core import compile_stencil_program, cpu_target
+
+        return compile_stencil_program(self.build(), target or cpu_target())

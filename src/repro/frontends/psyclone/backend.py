@@ -10,9 +10,12 @@ Arrays become ``!stencil.field`` kernel arguments shared by all stencils.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Sequence
+from typing import TYPE_CHECKING, Any, Optional, Sequence
 
 import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ...core import CompiledProgram, ExecutionConfig, ExecutionResult, Session, Target
 
 from ...dialects import arith, builtin, func, scf, stencil
 from ...ir import Builder, FunctionType, f32, f64, index
@@ -242,6 +245,57 @@ class PsycloneXDSLBackend:
 
         body.insert(scf.YieldOp([]))
         return builtin.ModuleOp([kernel])
+
+    def compile(
+        self,
+        source_or_schedule: "str | Schedule",
+        shape: Sequence[int],
+        *,
+        target: Optional["Target"] = None,
+        iterations: int = 1,
+        scalars: Optional[dict[str, float]] = None,
+    ) -> "CompiledProgram":
+        """Build the stencil module and run the shared pipeline for ``target``.
+
+        The PSyclone analogue of ``Operator.compile``: one call from Fortran
+        source (or a parsed schedule) to a :class:`~repro.core.CompiledProgram`
+        ready for a session plan.
+        """
+        from ...core import compile_stencil_program, cpu_target
+
+        module = self.build_module(
+            source_or_schedule, shape, iterations=iterations, scalars=scalars
+        )
+        return compile_stencil_program(module, target or cpu_target())
+
+    def run(
+        self,
+        program: "CompiledProgram",
+        fields: Sequence[np.ndarray],
+        iterations: int,
+        *,
+        function: Optional[str] = None,
+        config: Optional["ExecutionConfig"] = None,
+        session: Optional["Session"] = None,
+        **overrides: Any,
+    ) -> "ExecutionResult":
+        """Execute a compiled kernel through the Session API.
+
+        ``fields`` are the (halo-extended) global buffers in the kernel's
+        argument order — i.e. ``schedule.array_names()`` order — updated in
+        place.  ``config``/``overrides`` configure the execution
+        (:class:`~repro.core.ExecutionConfig` fields); ``session`` defaults
+        to the process-wide default session.
+        """
+        from ...core import default_session
+
+        active = session or default_session()
+        # function=None defers to the plan's default-function resolution
+        # (prefer "kernel", error on ambiguity).
+        return active.run(
+            program, list(fields), [int(iterations)],
+            function=function, config=config, **overrides,
+        )
 
 
 def _offsets_in_dimension_order(

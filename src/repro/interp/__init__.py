@@ -63,8 +63,10 @@ from .interpreter import (
     ExecStatistics,
     Interpreter,
     InterpreterError,
+    PlannedOp,
     RequestArray,
     RequestRef,
+    compile_block_plans,
     run_function,
 )
 from .mpi_runtime import (
@@ -88,7 +90,7 @@ from .vectorize import (
 
 __all__ = [
     "Interpreter", "InterpreterError", "ExecStatistics", "run_function",
-    "RequestArray", "RequestRef",
+    "RequestArray", "RequestRef", "PlannedOp", "compile_block_plans",
     "CompiledKernel", "CompiledNest", "VectorizationError", "VectorizeFallback",
     "compile_kernel", "compile_loop_nest", "compile_loop_nest_or_fallback",
     "SimulatedMPI", "RankCommunicator", "CommunicatorBase", "SimRequest",

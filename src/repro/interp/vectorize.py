@@ -225,7 +225,7 @@ class CompiledNest:
     """One vectorizable loop nest, compiled to NumPy slice expressions."""
 
     __slots__ = ("bounds", "instrs", "count_bounds", "rank", "op_name",
-                 "has_reduce", "last_fallback")
+                 "has_reduce", "last_fallback", "_alias_cache")
 
     def __init__(
         self,
@@ -250,6 +250,14 @@ class CompiledNest:
         self.has_reduce = any(instr[0] == "reduce" for instr in instrs)
         #: Why the most recent :meth:`execute` bounced (None after a success).
         self.last_fallback: Optional[VectorizeFallback] = None
+        #: Aliasing verdicts keyed by the memory layout of every accessed
+        #: region (base address, shape, strides, dtype, slices).  A repeated
+        #: run over the same buffers — every time step of a time loop, every
+        #: request served by a Plan — hits the cache instead of re-running
+        #: ``np.shares_memory`` per load/store pair.  The key captures the
+        #: complete overlap-relevant state, so object identity (and id reuse)
+        #: cannot poison it.
+        self._alias_cache: dict[tuple, bool] = {}
 
     # -- runtime ------------------------------------------------------------
     def execute(self, interp, env: dict) -> bool:
@@ -281,7 +289,24 @@ class CompiledNest:
             cells = self._cell_count(env)
             resolved = self._resolve_regions(interp, env, dims)
             loads, stores, regions = resolved
-            if not self._aliasing_is_safe(loads, stores, regions):
+            alias_key = tuple(
+                (
+                    position,
+                    array.__array_interface__["data"][0],
+                    array.shape,
+                    array.strides,
+                    array.dtype.str,
+                    tuple((s.start, s.stop, s.step) for s in slices),
+                )
+                for position, (array, slices, _, _) in sorted(regions.items())
+            )
+            safe = self._alias_cache.get(alias_key)
+            if safe is None:
+                safe = self._aliasing_is_safe(loads, stores, regions)
+                if len(self._alias_cache) >= 128:
+                    self._alias_cache.clear()
+                self._alias_cache[alias_key] = safe
+            if not safe:
                 raise _Bailout(
                     "aliasing stores: load/store regions overlap between "
                     "cells, so per-cell execution order is observable"

@@ -41,8 +41,10 @@ from .stats import (
     sort_rank_stats,
 )
 from .worker_pool import (
+    PoolManager,
     WorkerError,
     WorkerPool,
+    default_pool_manager,
     get_worker_pool,
     run_program_processes,
     run_spmd_processes,
@@ -53,8 +55,8 @@ __all__ = [
     "ProcessRankCommunicator", "MPRequest",
     "SharedField", "SharedFieldSpec",
     "processes_available", "default_context",
-    "WorkerPool", "WorkerError",
-    "get_worker_pool", "shutdown_worker_pool",
+    "WorkerPool", "WorkerError", "PoolManager",
+    "get_worker_pool", "shutdown_worker_pool", "default_pool_manager",
     "run_program_processes", "run_spmd_processes",
     "RankStats", "merge_comm_statistics", "combine_exec_statistics",
     "sort_rank_stats",

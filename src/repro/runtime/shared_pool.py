@@ -72,6 +72,16 @@ class SharedFieldPool:
         self._owned: list = []
         self._generation = 0
 
+    @property
+    def generation(self) -> int:
+        """The current pool epoch; bumped by :meth:`clear`.
+
+        Long-lived holders of leases (a :class:`repro.core.session.Plan`
+        keeps its blocks across runs) compare this against the epoch they
+        leased under to detect that a ``clear()`` invalidated their buffers.
+        """
+        return self._generation
+
     def lease(self, shape, dtype) -> LeasedField:
         """A block big enough for ``shape x dtype``, recycled when possible.
 

@@ -19,6 +19,8 @@ queue):
   ``threads_per_rank > 1`` — the OpenMP level of the hybrid runtime);
 * ``("spmd", run_id, rank, size, payload, timeout)`` — run an arbitrary
   picklable ``fn(comm, *args)`` (tests and ad-hoc experiments);
+* ``("warmup", run_id, rank, threads_per_rank)`` — pre-spawn the worker's
+  intra-rank thread team so the first hybrid run pays no spawn latency;
 * ``("stop",)`` — exit the worker loop.
 
 Workers answer ``("done", run_id, rank, result, comm_stats)`` or
@@ -140,6 +142,22 @@ def _worker_main(worker_index: int, commands, results, inboxes) -> None:
                 )
                 value = fn(comm, *args)
                 results.put(("done", run_id, rank, value, comm.statistics))
+            except BaseException as err:  # noqa: BLE001 - ship to the parent
+                results.put(
+                    ("error", run_id, rank,
+                     f"{type(err).__name__}: {err}\n{traceback.format_exc()}")
+                )
+            continue
+        if kind == "warmup":
+            # Pre-spawn the intra-rank thread team (the ROADMAP warm-up item):
+            # the first hybrid run then pays no team-spawn latency.
+            _, run_id, rank, threads_per_rank = command
+            try:
+                if threads_per_rank > 1:
+                    from ..interp.thread_team import get_thread_team
+
+                    get_thread_team(threads_per_rank)
+                results.put(("done", run_id, rank, None, None))
             except BaseException as err:  # noqa: BLE001 - ship to the parent
                 results.put(
                     ("error", run_id, rank,
@@ -283,6 +301,26 @@ class WorkerPool:
         ordered = sorted(reports, key=lambda report: report[0])
         return [value for _, value, _ in ordered], [stats for _, _, stats in ordered]
 
+    def warmup(self, ranks: int, threads_per_rank: int = 1,
+               timeout: float = 60.0) -> None:
+        """Pre-spawn the first ``ranks`` workers' intra-rank thread teams.
+
+        The workers themselves were spawned by the pool constructor; this
+        round-trip additionally forces each of them to build (and cache) its
+        ``threads_per_rank``-sized team and proves the command loop is alive,
+        so the first real hybrid run pays neither spawn latency.
+        """
+        if ranks > self.size:
+            raise WorkerError(f"pool of {self.size} workers cannot host {ranks} ranks")
+        with self._run_lock:
+            if not self.alive:
+                raise _PoolReplacedError
+            self._require_healthy()
+            run_id = next(self._run_ids)
+            for rank in range(ranks):
+                self._commands[rank].put(("warmup", run_id, rank, threads_per_rank))
+            self._collect(run_id, ranks, timeout)
+
     def _collect(self, run_id: int, size: int, timeout: float) -> list[tuple]:
         """Gather one report per rank, failing fast on worker errors."""
         # Workers' own receives already honour ``timeout``; the parent allows
@@ -356,34 +394,111 @@ class WorkerPool:
                 pass
 
 
-_GLOBAL_POOL: Optional[WorkerPool] = None
-_GLOBAL_POOL_LOCK = threading.Lock()
+class PoolManager:
+    """Owns (at most) one :class:`WorkerPool` and its replacement policy.
+
+    Pool ownership used to be a module global; a manager instance makes it an
+    explicit resource a :class:`repro.core.session.Session` can hold, reuse
+    across runs, and tear down deterministically.  The module-level functions
+    below keep delegating to one process-wide default manager — the
+    compatibility surface for ad-hoc callers and the default session.
+    """
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._pool: Optional[WorkerPool] = None
+        #: How many pools this manager ever constructed (a warmed-up manager
+        #: serving repeated runs stays at 1 — asserted by the session tests).
+        self.pools_created = 0
+
+    @property
+    def pool(self) -> Optional[WorkerPool]:
+        """The current pool, if any (no spawning)."""
+        return self._pool
+
+    def acquire(self, size: int) -> WorkerPool:
+        """The persistent pool, grown (by replacement) when too small."""
+        with self._lock:
+            pool = self._pool
+            if pool is not None and pool.alive and pool.size >= size:
+                return pool
+            previous = pool.size if pool is not None else 0
+            if pool is not None:
+                # Replacing a too-small pool must wait for any in-flight run
+                # to finish, or the shutdown would terminate its busy workers.
+                with pool._run_lock:
+                    pool.shutdown()
+            self._pool = WorkerPool(max(size, previous))
+            self.pools_created += 1
+            return self._pool
+
+    def shutdown(self) -> None:
+        with self._lock:
+            if self._pool is not None:
+                self._pool.shutdown()
+                self._pool = None
+
+    # -- retrying entry points (transparent pool replacement) -----------------
+    def run_program_specs(
+        self,
+        program,
+        function_name: str,
+        backend: str,
+        field_specs: Sequence[Sequence[SharedFieldSpec]],
+        scalar_arguments: Sequence[Any],
+        timeout: float,
+        threads_per_rank: int = 1,
+    ) -> list[RankStats]:
+        """Run one rank per worker against pre-scattered shared-memory specs."""
+        size = len(field_specs)
+        for _ in _pool_attempts():
+            pool = self.acquire(size)
+            try:
+                return pool.run_program(
+                    program, function_name, backend, field_specs,
+                    scalar_arguments, timeout, threads_per_rank,
+                )
+            except _PoolReplacedError:
+                continue  # the pool was grown, replaced, or had dead workers
+
+    def run_spmd(
+        self, fn: Callable, size: int, args: Sequence[Any], timeout: float
+    ) -> tuple[list[Any], list[CommStatistics]]:
+        for _ in _pool_attempts():
+            pool = self.acquire(size)
+            try:
+                return pool.run_spmd(fn, size, args, timeout)
+            except _PoolReplacedError:
+                continue  # the pool was grown, replaced, or had dead workers
+
+    def warmup(self, ranks: int, threads_per_rank: int = 1,
+               timeout: float = 60.0) -> None:
+        """Spawn ``ranks`` workers (and their thread teams) ahead of a run."""
+        for _ in _pool_attempts():
+            pool = self.acquire(ranks)
+            try:
+                pool.warmup(ranks, threads_per_rank, timeout)
+                return
+            except _PoolReplacedError:
+                continue  # the pool was grown, replaced, or had dead workers
+
+
+_GLOBAL_MANAGER = PoolManager()
+
+
+def default_pool_manager() -> PoolManager:
+    """The process-wide manager behind the module-level compatibility API."""
+    return _GLOBAL_MANAGER
 
 
 def get_worker_pool(size: int) -> WorkerPool:
     """The shared persistent pool, grown (by replacement) when too small."""
-    global _GLOBAL_POOL
-    with _GLOBAL_POOL_LOCK:
-        pool = _GLOBAL_POOL
-        if pool is not None and pool.alive and pool.size >= size:
-            return pool
-        previous = pool.size if pool is not None else 0
-        if pool is not None:
-            # Replacing a too-small pool must wait for any in-flight run to
-            # finish, or the shutdown would terminate its busy workers.
-            with pool._run_lock:
-                pool.shutdown()
-        _GLOBAL_POOL = WorkerPool(max(size, previous))
-        return _GLOBAL_POOL
+    return _GLOBAL_MANAGER.acquire(size)
 
 
 def shutdown_worker_pool() -> None:
     """Tear down the shared pool and field blocks (tests, interpreter exit)."""
-    global _GLOBAL_POOL
-    with _GLOBAL_POOL_LOCK:
-        if _GLOBAL_POOL is not None:
-            _GLOBAL_POOL.shutdown()
-            _GLOBAL_POOL = None
+    _GLOBAL_MANAGER.shutdown()
     from .shared_pool import shared_field_pool
 
     shared_field_pool().clear()
@@ -405,6 +520,7 @@ def run_program_processes(
     *,
     timeout: float = 60.0,
     threads_per_rank: int = 1,
+    manager: Optional[PoolManager] = None,
 ) -> tuple[list[ExecStatistics], CommStatistics]:
     """Run one compiled SPMD program rank-per-process over shared memory.
 
@@ -413,11 +529,13 @@ def run_program_processes(
     PR 2 discipline, kept for ad-hoc callers); entries that already *are*
     shared-memory backed — :class:`~repro.runtime.shared_pool.LeasedField`
     or :class:`~repro.runtime.mp_world.SharedField` — are used in place,
-    eliding both copies (the executor's copy-elision path).  Buffers are
+    eliding both copies (the session's copy-elision path).  Buffers are
     updated **in place** either way.  Returns the per-rank execution
     statistics in rank order plus the merged communication statistics.
+    ``manager`` selects whose worker pool runs it (default: the process-wide
+    one).
     """
-    size = len(local_fields)
+    manager = manager if manager is not None else _GLOBAL_MANAGER
     owned: list[tuple[np.ndarray, SharedField]] = []
     shared: list[list[Any]] = []
     for rank_fields in local_fields:
@@ -432,16 +550,10 @@ def run_program_processes(
         shared.append(rank_shared)
     try:
         specs = [[field.spec for field in rank_fields] for rank_fields in shared]
-        for _ in _pool_attempts():
-            pool = get_worker_pool(size)
-            try:
-                reports = pool.run_program(
-                    program, function_name, backend, specs, scalar_arguments,
-                    timeout, threads_per_rank,
-                )
-                break
-            except _PoolReplacedError:
-                continue  # the pool was grown, replaced, or had dead workers
+        reports = manager.run_program_specs(
+            program, function_name, backend, specs, scalar_arguments,
+            timeout, threads_per_rank,
+        )
         for array, field in owned:
             array[...] = field.array
     finally:
@@ -460,6 +572,7 @@ def run_spmd_processes(
     args: Sequence[Any] = (),
     *,
     timeout: float = 30.0,
+    manager: Optional[PoolManager] = None,
 ) -> tuple[list[Any], CommStatistics]:
     """Run a picklable ``fn(comm, *args)`` on ``size`` process ranks.
 
@@ -469,13 +582,8 @@ def run_spmd_processes(
     """
     if not processes_available():
         raise WorkerError("process runtime is unavailable on this platform")
-    for _ in _pool_attempts():
-        pool = get_worker_pool(size)
-        try:
-            values, per_rank = pool.run_spmd(fn, size, args, timeout)
-            break
-        except _PoolReplacedError:
-            continue  # the pool was grown, replaced, or had dead workers
+    manager = manager if manager is not None else _GLOBAL_MANAGER
+    values, per_rank = manager.run_spmd(fn, size, args, timeout)
     return values, merge_comm_statistics(per_rank)
 
 

@@ -1,8 +1,8 @@
 """Tests for the hybrid MPI+OpenMP runtime: thread teams, halo/compute
 overlap, and shared-memory copy elision.
 
-The contract: ``run_distributed(..., threads_per_rank=N)`` is *bit-identical*
-to the flat ``runtime="threads"`` run for every workload — fields,
+The contract: executing with ``threads_per_rank=N`` is *bit-identical* to the
+flat ``runtime="threads"`` run for every workload — fields,
 ``ExecStatistics`` (including the new overlap counter) and the compared part
 of ``CommStatistics`` all match — across the heat, wave and masked-tracer
 workloads; overlap defers every eligible halo completion past interior
@@ -16,9 +16,14 @@ import pytest
 from repro.core import (
     ExecutionError,
     compile_stencil_program,
+    default_session,
     dmp_target,
-    run_distributed,
 )
+
+
+def _run(program, fields, scalars, **config):
+    """Execute through the Session API (default session, one-shot plans)."""
+    return default_session().run(program, fields, scalars, **config)
 from repro.interp import Interpreter, SimulatedMPI
 from repro.interp.thread_team import get_thread_team, split_trip_counts
 from repro.runtime import processes_available, shutdown_worker_pool
@@ -89,11 +94,11 @@ def test_hybrid_thread_world_parity(name):
     """threads_per_rank > 1 in the thread world is bit-identical to flat."""
     program, fields, scalars, function = CASES[name]
     flat = fields()
-    reference = run_distributed(
+    reference = _run(
         program, flat, scalars, function=function, runtime="threads"
     )
     hybrid_fields = fields()
-    hybrid = run_distributed(
+    hybrid = _run(
         program, hybrid_fields, scalars, function=function,
         runtime="threads", threads_per_rank=2,
     )
@@ -111,11 +116,11 @@ def test_hybrid_process_world_parity(name):
     """2 ranks x 2 threads under processes matches flat runtime="threads"."""
     program, fields, scalars, function = CASES[name]
     flat = fields()
-    reference = run_distributed(
+    reference = _run(
         program, flat, scalars, function=function, runtime="threads"
     )
     hybrid_fields = fields()
-    hybrid = run_distributed(
+    hybrid = _run(
         program, hybrid_fields, scalars, function=function,
         runtime="processes", threads_per_rank=2,
     )
@@ -130,7 +135,7 @@ def test_hybrid_process_world_parity(name):
 def test_threads_per_rank_validation():
     program, fields, scalars, function = CASES["heat"]
     with pytest.raises(ExecutionError, match="threads_per_rank"):
-        run_distributed(
+        _run(
             program, fields(), scalars, function=function, threads_per_rank=0
         )
 
@@ -142,7 +147,7 @@ def test_threads_per_rank_validation():
 def test_overlap_defers_every_eligible_swap():
     """On the vectorized heat kernel, every halo swap overlaps with compute."""
     program, fields, scalars, function = CASES["heat"]
-    result = run_distributed(
+    result = _run(
         program, fields(), scalars, function=function, runtime="threads"
     )
     for stats in result.statistics:
@@ -159,7 +164,7 @@ def test_overlap_fires_on_the_omp_multi_field_path():
     legitimately stay blocking, so not *every* swap overlaps — but some must.
     """
     program, fields, scalars, function = CASES["traadv-masked"]
-    result = run_distributed(
+    result = _run(
         program, fields(), scalars, function=function, runtime="threads"
     )
     for stats in result.statistics:
@@ -170,7 +175,7 @@ def test_overlap_disabled_is_bit_identical():
     """The blocking discipline (overlap_halos=False) writes the same bytes."""
     program, fields, scalars, function = CASES["heat"]
     overlapped = fields()
-    run_distributed(program, overlapped, scalars, function=function)
+    _run(program, overlapped, scalars, function=function)
 
     blocking = fields()
     size = 4
@@ -212,11 +217,11 @@ def test_overlap_interpreter_backend_still_blocks():
     """The tree walker (backend="interpreter") completes halos before cells."""
     program, fields, scalars, function = CASES["heat"]
     vectorized = fields()
-    reference = run_distributed(
+    reference = _run(
         program, vectorized, scalars, function=function, backend="auto"
     )
     walked = fields()
-    walked_result = run_distributed(
+    walked_result = _run(
         program, walked, scalars, function=function, backend="interpreter"
     )
     for a, b in zip(vectorized, walked):
@@ -237,7 +242,7 @@ def test_overlap_interpreter_backend_still_blocks():
 def test_copy_elision_and_block_reuse():
     program, fields, scalars, function = CASES["heat"]
     shutdown_worker_pool()  # start from an empty block pool
-    first = run_distributed(
+    first = _run(
         program, fields(), scalars, function=function, runtime="processes"
     )
     field_bytes = sum(array.nbytes for array in fields())
@@ -246,7 +251,7 @@ def test_copy_elision_and_block_reuse():
     assert first.comm_statistics.bytes_elided > field_bytes
     assert first.comm_statistics.shared_blocks_reused == 0
 
-    second = run_distributed(
+    second = _run(
         program, fields(), scalars, function=function, runtime="processes"
     )
     # 4 ranks x 2 fields: every block of the repeated run is recycled.
@@ -302,10 +307,10 @@ def test_teams_survive_fork_into_workers():
 
     # Warm the parent's 2-thread team first...
     warm = fields()
-    run_distributed(program, warm, [2], runtime="threads", threads_per_rank=2)
+    _run(program, warm, [2], runtime="threads", threads_per_rank=2)
     # ...then fork workers that need their own 2-thread teams.
     forked = fields()
-    result = run_distributed(
+    result = _run(
         program, forked, [2], runtime="processes", threads_per_rank=2,
         timeout=60.0,
     )

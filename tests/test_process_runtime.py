@@ -13,9 +13,10 @@ import pytest
 
 from repro.core import (
     ExecutionError,
+    RuntimeFallbackWarning,
     compile_stencil_program,
+    default_session,
     dmp_target,
-    run_distributed,
 )
 from repro.interp import SimulatedMPI
 from repro.runtime import (
@@ -49,6 +50,12 @@ def _heat_fields(shape=(18, 18)):
     u0 = np.zeros(shape)
     u0[shape[0] // 2 - 1: shape[0] // 2 + 1, shape[1] // 2 - 1: shape[1] // 2 + 1] = 1.0
     return u0, u0.copy()
+
+
+def _run(program, fields, scalars, **config):
+    """Execute through the Session API (the default session shares the
+    process-wide worker pool, like the deprecated shims used to)."""
+    return default_session().run(program, fields, scalars, **config)
 
 
 # ---------------------------------------------------------------------------
@@ -134,9 +141,9 @@ def test_point_to_point_and_requests_parity():
 def test_heat_kernel_runtime_parity(rank_grid, lower):
     program = _compile_heat(rank_grid, lower_to_library_calls=lower)
     a0, a1 = _heat_fields()
-    threads_result = run_distributed(program, [a0, a1], [3], runtime="threads")
+    threads_result = _run(program, [a0, a1], [3], runtime="threads")
     b0, b1 = _heat_fields()
-    processes_result = run_distributed(program, [b0, b1], [3], runtime="processes")
+    processes_result = _run(program, [b0, b1], [3], runtime="processes")
 
     assert processes_result.runtime == "processes"
     assert np.array_equal(a0, b0) and np.array_equal(a1, b1)
@@ -153,7 +160,7 @@ def test_backend_parity_across_runtimes():
     for backend in ("interpreter", "auto"):
         for runtime in ("threads", "processes"):
             u0, u1 = _heat_fields()
-            run_distributed(program, [u0, u1], [2], backend=backend, runtime=runtime)
+            _run(program, [u0, u1], [2], backend=backend, runtime=runtime)
             if reference is None:
                 reference = (u0, u1)
             else:
@@ -169,11 +176,11 @@ def test_backend_parity_across_runtimes():
 def test_pool_persists_and_ships_programs_once():
     program = _compile_heat((2, 2))
     u0, u1 = _heat_fields()
-    run_distributed(program, [u0, u1], [2], runtime="processes")
+    _run(program, [u0, u1], [2], runtime="processes")
     pool = get_worker_pool(4)
     shipped = pool.programs_shipped
     u0, u1 = _heat_fields()
-    run_distributed(program, [u0, u1], [2], runtime="processes")
+    _run(program, [u0, u1], [2], runtime="processes")
     assert get_worker_pool(4) is pool, "pool must persist across runs"
     assert pool.programs_shipped == shipped, "program must be shipped only once"
 
@@ -184,11 +191,11 @@ def test_worker_error_propagates_and_pool_recovers():
     u0, u1 = _heat_fields()
     with pytest.raises(Exception) as excinfo:
         # Wrong scalar arity: every rank's interpreter raises remotely.
-        run_distributed(program, [u0, u1], [2, 99], runtime="processes")
+        _run(program, [u0, u1], [2, 99], runtime="processes")
     assert "rank" in str(excinfo.value)
     # The pool was poisoned and replaced: the next run works.
     u0, u1 = _heat_fields()
-    result = run_distributed(program, [u0, u1], [2], runtime="processes")
+    result = _run(program, [u0, u1], [2], runtime="processes")
     assert result.runtime == "processes"
 
 
@@ -202,7 +209,7 @@ def test_concurrent_runs_serialize_on_the_pool():
 
     def run(label):
         u0, u1 = _heat_fields()
-        result = run_distributed(program, [u0, u1], [2], runtime="processes")
+        result = _run(program, [u0, u1], [2], runtime="processes")
         outcomes[label] = (u0, u1, result.comm_statistics)
 
     callers = [threading.Thread(target=run, args=(i,)) for i in range(2)]
@@ -320,8 +327,11 @@ def test_automatic_fallback_to_threads(monkeypatch):
     monkeypatch.setattr(runtime_module, "processes_available", lambda: False)
     program = _compile_heat((2, 2))
     u0, u1 = _heat_fields()
-    result = run_distributed(program, [u0, u1], [2], runtime="processes")
+    with pytest.warns(RuntimeFallbackWarning, match="falling back"):
+        result = _run(program, [u0, u1], [2], runtime="processes")
     assert result.runtime == "threads"
+    assert result.runtime_requested == "processes"
+    assert result.degraded
     assert result.messages_sent > 0
 
 
@@ -329,7 +339,7 @@ def test_unknown_runtime_rejected():
     program = _compile_heat((2, 2))
     u0, u1 = _heat_fields()
     with pytest.raises(ExecutionError, match="unknown execution runtime"):
-        run_distributed(program, [u0, u1], [2], runtime="mpi")
+        _run(program, [u0, u1], [2], runtime="mpi")
 
 
 # ---------------------------------------------------------------------------

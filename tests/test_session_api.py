@@ -1,0 +1,430 @@
+"""Tests for the Session/Plan execution API (repro.core.session).
+
+Covers the satellite checklist of the API redesign: ExecutionConfig
+validation, session lifecycle (double-close, run-after-close, resource-reuse
+counters), plan hot-path parity against the deprecated shims across the
+{threads, processes} x {1, 2 threads_per_rank} matrix, shim deprecation
+warnings, and the runtime-fallback warning.
+"""
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    ExecutionConfig,
+    ExecutionError,
+    RuntimeFallbackWarning,
+    Session,
+    compile_stencil_program,
+    cpu_target,
+    default_session,
+    dmp_target,
+    run_distributed,
+    run_local,
+)
+from repro.runtime import processes_available, shutdown_worker_pool
+from repro.workloads import heat_diffusion
+from tests.conftest import build_jacobi_module, jacobi_reference
+
+needs_processes = pytest.mark.skipif(
+    not processes_available(), reason="process runtime unavailable on this platform"
+)
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _pool_teardown():
+    yield
+    shutdown_worker_pool()
+
+
+def _compile_heat(rank_grid, shape=(16, 16)):
+    workload = heat_diffusion(shape, space_order=2, dtype=np.float64)
+    module = workload.operator(backend="xdsl").stencil_module(dt=workload.dt)
+    return compile_stencil_program(module, dmp_target(rank_grid))
+
+
+def _heat_fields(shape=(18, 18)):
+    u0 = np.zeros(shape)
+    u0[shape[0] // 2 - 1: shape[0] // 2 + 1,
+       shape[1] // 2 - 1: shape[1] // 2 + 1] = 1.0
+    return [u0, u0.copy()]
+
+
+# ---------------------------------------------------------------------------
+# ExecutionConfig validation
+# ---------------------------------------------------------------------------
+
+class TestExecutionConfig:
+    def test_defaults_valid(self):
+        config = ExecutionConfig()
+        assert config.backend == "auto" and config.runtime == "threads"
+        assert config.resolved_overlap() is True
+
+    def test_bad_backend(self):
+        with pytest.raises(ExecutionError, match="unknown execution backend"):
+            ExecutionConfig(backend="jit")
+
+    def test_bad_runtime(self):
+        with pytest.raises(ExecutionError, match="unknown execution runtime"):
+            ExecutionConfig(runtime="mpi")
+
+    @pytest.mark.parametrize("threads", [0, -1, 1.5, "two"])
+    def test_bad_threads_per_rank(self, threads):
+        with pytest.raises(ExecutionError, match="threads_per_rank"):
+            ExecutionConfig(threads_per_rank=threads)
+
+    @pytest.mark.parametrize("ranks", [0, -2, 2.5])
+    def test_bad_ranks(self, ranks):
+        with pytest.raises(ExecutionError, match="ranks"):
+            ExecutionConfig(ranks=ranks)
+
+    @pytest.mark.parametrize("timeout", [0, -3, "fast"])
+    def test_bad_timeout(self, timeout):
+        with pytest.raises(ExecutionError, match="timeout"):
+            ExecutionConfig(timeout=timeout)
+
+    def test_conflicting_overlap_flags(self):
+        with pytest.raises(ExecutionError, match="overlap_halos.*interpreter"):
+            ExecutionConfig(backend="interpreter", overlap_halos=True)
+
+    def test_overlap_auto_resolution(self):
+        assert ExecutionConfig(backend="interpreter").resolved_overlap() is False
+        assert ExecutionConfig(backend="auto").resolved_overlap() is True
+        assert ExecutionConfig(overlap_halos=False).resolved_overlap() is False
+
+    def test_bad_overlap_value(self):
+        with pytest.raises(ExecutionError, match="overlap_halos"):
+            ExecutionConfig(overlap_halos="sometimes")
+
+    def test_negative_margin(self):
+        with pytest.raises(ExecutionError, match="margin"):
+            ExecutionConfig(margin=(1, -1))
+
+    def test_margin_normalized_to_ints(self):
+        assert ExecutionConfig(margin=[2.0, 3]).margin == (2, 3)
+
+    def test_replace_revalidates(self):
+        config = ExecutionConfig()
+        with pytest.raises(ExecutionError, match="unknown execution runtime"):
+            config.replace(runtime="gpu")
+        assert config.replace(runtime="processes").runtime == "processes"
+
+    def test_replace_rejects_unknown_fields(self):
+        with pytest.raises(ExecutionError, match="unknown ExecutionConfig field"):
+            ExecutionConfig().replace(nranks=4)
+
+    def test_plan_rejects_rank_mismatch(self):
+        program = _compile_heat((2, 2))
+        with Session() as session:
+            with pytest.raises(ExecutionError, match="rank grid"):
+                session.plan(program, config=ExecutionConfig(ranks=3))
+
+
+# ---------------------------------------------------------------------------
+# session lifecycle
+# ---------------------------------------------------------------------------
+
+class TestSessionLifecycle:
+    def test_double_close_is_idempotent(self):
+        session = Session()
+        session.close()
+        session.close()  # no error
+        assert session.closed
+
+    def test_run_after_close_raises(self):
+        program = _compile_heat((2, 1))
+        session = Session()
+        session.close()
+        with pytest.raises(ExecutionError, match="session is closed"):
+            session.run(program, _heat_fields(), [1])
+        with pytest.raises(ExecutionError, match="session is closed"):
+            session.plan(program)
+        with pytest.raises(ExecutionError, match="session is closed"):
+            session.warmup(ranks=2)
+
+    def test_plan_run_after_session_close_raises(self):
+        program = _compile_heat((2, 1))
+        session = Session()
+        plan = session.plan(program)
+        session.close()
+        assert plan.closed  # session close closes its plans
+        with pytest.raises(ExecutionError, match="plan is closed"):
+            plan.run(_heat_fields(), [1])
+
+    def test_context_manager_closes(self):
+        with Session() as session:
+            assert not session.closed
+        assert session.closed
+
+    def test_rank_executor_reused_across_runs(self):
+        program = _compile_heat((2, 1))
+        with Session() as session:
+            plan = session.plan(program)
+            for _ in range(4):
+                plan.run(_heat_fields(), [2])
+            assert session.counters.runs_completed == 4
+            assert session.counters.rank_executors_created == 1
+            assert plan.runs_completed == 4
+
+    def test_plan_buffers_cached_across_runs(self):
+        program = _compile_heat((2, 1))
+        with Session() as session:
+            plan = session.plan(program)
+            fields = _heat_fields()
+            plan.run(fields, [2])
+            buffers = plan._buffers
+            assert buffers is not None
+            plan.run(_heat_fields(), [2])
+            assert plan._buffers is buffers, "same shapes must reuse the buffers"
+            reference = _heat_fields()
+            run_with_shims_silenced(program, reference, [2])
+            repeated = _heat_fields()
+            plan.run(repeated, [2])
+            assert np.array_equal(repeated[0], reference[0])
+            assert np.array_equal(repeated[1], reference[1])
+
+    def test_session_runs_local_programs_too(self):
+        module = build_jacobi_module()
+        program = compile_stencil_program(module, cpu_target())
+        data = np.zeros(10)
+        data[1:9] = np.arange(8, dtype=float)
+        a, b = data.copy(), data.copy()
+        with Session() as session:
+            plan = session.plan(program)
+            result = plan.run([a, b], [3])
+        assert result.runtime == "local" and not result.degraded
+        assert np.allclose(b, jacobi_reference(data, 3))
+
+
+def run_with_shims_silenced(program, fields, scalars, **kwargs):
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", DeprecationWarning)
+        return run_distributed(program, fields, scalars, **kwargs)
+
+
+# ---------------------------------------------------------------------------
+# hot-path parity vs the shims: {threads, processes} x {1, 2 threads_per_rank}
+# ---------------------------------------------------------------------------
+
+PARITY_CELLS = [
+    ("threads", 1), ("threads", 2),
+    pytest.param("processes", 1, marks=needs_processes),
+    pytest.param("processes", 2, marks=needs_processes),
+]
+
+
+@pytest.mark.parametrize("runtime,threads_per_rank", PARITY_CELLS)
+def test_plan_matches_shim_bit_identically(runtime, threads_per_rank):
+    """plan.run == run_distributed: fields, ExecStatistics and CommStatistics."""
+    program = _compile_heat((2, 2))
+    shim_fields = _heat_fields()
+    shim = run_with_shims_silenced(
+        program, shim_fields, [3],
+        runtime=runtime, threads_per_rank=threads_per_rank,
+    )
+    with Session(runtime=runtime, threads_per_rank=threads_per_rank) as session:
+        plan = session.plan(program)
+        for repeat in range(3):  # repeated runs reuse buffers and must agree
+            plan_fields = _heat_fields()
+            result = plan.run(plan_fields, [3])
+            for mine, theirs in zip(plan_fields, shim_fields):
+                assert np.array_equal(mine, theirs), (
+                    f"{runtime} x{threads_per_rank} repeat {repeat}: "
+                    "fields diverged from the shim path"
+                )
+            assert result.statistics == shim.statistics
+            assert result.comm_statistics == shim.comm_statistics
+            assert result.messages_sent == shim.messages_sent > 0
+            assert result.runtime == shim.runtime == runtime
+            assert result.threads_per_rank == threads_per_rank
+
+
+def test_plan_local_matches_run_local_shim():
+    module = build_jacobi_module()
+    program = compile_stencil_program(module, cpu_target())
+    data = np.zeros(10)
+    data[1:9] = np.arange(8, dtype=float)
+    a1, b1 = data.copy(), data.copy()
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", DeprecationWarning)
+        shim = run_local(program, [a1, b1, 4])
+    a2, b2 = data.copy(), data.copy()
+    with Session() as session:
+        result = session.plan(program).run([a2, b2], [4])
+    assert np.array_equal(a1, a2) and np.array_equal(b1, b2)
+    assert result.statistics == shim.statistics
+
+
+@needs_processes
+def test_plan_holds_leases_across_runs():
+    """A held plan's shared blocks persist: every re-run reuses all of them."""
+    shutdown_worker_pool()  # reset the default pools; session owns its own
+    program = _compile_heat((2, 1))
+    with Session(runtime="processes") as session:
+        plan = session.plan(program)
+        first = plan.run(_heat_fields(), [2])
+        assert first.comm_statistics.bytes_elided > 0
+        second = plan.run(_heat_fields(), [2])
+        # 2 ranks x 2 fields leased once and kept across runs.
+        assert second.comm_statistics.shared_blocks_reused == 4
+        assert session.worker_pools_created == 1
+
+
+# ---------------------------------------------------------------------------
+# shim deprecation warnings + runtime fallback warning
+# ---------------------------------------------------------------------------
+
+def test_run_local_shim_warns_deprecated():
+    module = build_jacobi_module()
+    program = compile_stencil_program(module, cpu_target())
+    data = np.zeros(10)
+    with pytest.warns(DeprecationWarning, match="Session/Plan"):
+        run_local(program, [data.copy(), data.copy(), 1])
+
+
+def test_run_distributed_shim_warns_deprecated():
+    program = _compile_heat((2, 1))
+    with pytest.warns(DeprecationWarning, match="Session/Plan"):
+        run_distributed(program, _heat_fields(), [1])
+
+
+def test_fallback_warns_and_records_request(monkeypatch):
+    import repro.runtime as runtime_module
+
+    monkeypatch.setattr(runtime_module, "processes_available", lambda: False)
+    program = _compile_heat((2, 1))
+    with Session() as session:
+        with pytest.warns(RuntimeFallbackWarning, match="falling back"):
+            result = session.run(program, _heat_fields(), [1], runtime="processes")
+    assert result.runtime == "threads"
+    assert result.runtime_requested == "processes"
+    assert result.degraded
+    assert result.messages_sent > 0
+
+
+def test_no_fallback_warning_when_runtime_honoured():
+    program = _compile_heat((2, 1))
+    with Session() as session:
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", RuntimeFallbackWarning)
+            result = session.run(program, _heat_fields(), [1], runtime="threads")
+    assert result.runtime == result.runtime_requested == "threads"
+    assert not result.degraded
+
+
+# ---------------------------------------------------------------------------
+# warm-up
+# ---------------------------------------------------------------------------
+
+def test_threads_warmup_prespawns_executor_and_team():
+    program = _compile_heat((2, 1))
+    with Session(runtime="threads", ranks=2, threads_per_rank=2) as session:
+        session.warmup()
+        assert session.counters.warmups == 1
+        assert session.counters.rank_executors_created == 1
+        assert session.counters.thread_teams_created == 1
+        plan = session.plan(program)
+        plan.run(_heat_fields(), [2])
+        # The first run found everything already spawned.
+        assert session.counters.rank_executors_created == 1
+        assert session.counters.thread_teams_created == 1
+
+
+def test_warm_start_config_warms_on_enter():
+    with Session(ranks=2, warm_start=True) as session:
+        assert session.counters.warmups == 1
+
+
+@needs_processes
+def test_process_warmup_prespawns_pool_and_ships_program():
+    program = _compile_heat((2, 1))
+    with Session(runtime="processes") as session:
+        plan = session.plan(program)
+        plan.warmup()
+        assert session.worker_pools_created == 1
+        pool = session._pool_manager.pool
+        shipped = pool.programs_shipped
+        assert shipped == 2  # one copy per worker, shipped at warm-up
+        plan.run(_heat_fields(), [2])
+        # The run spawned nothing and shipped nothing new.
+        assert session.worker_pools_created == 1
+        assert session._pool_manager.pool is pool
+        assert pool.programs_shipped == shipped
+
+
+@needs_processes
+def test_plan_warmup_honours_plan_runtime_override():
+    """A plan's runtime override (not the session default) gets warmed."""
+    program = _compile_heat((2, 1))
+    with Session() as session:  # session default: threads
+        plan = session.plan(program, runtime="processes")
+        plan.warmup()
+        assert session.worker_pools_created == 1, (
+            "plan.warmup() must pre-spawn the plan's runtime, not the session's"
+        )
+        pool = session._pool_manager.pool
+        assert pool is not None and pool.programs_shipped == 2
+        plan.run(_heat_fields(), [1])
+        assert session.worker_pools_created == 1
+        assert pool.programs_shipped == 2
+
+
+def test_plan_rejects_scalar_in_fields():
+    """Scalars mixed into the distributed fields list get a clear error."""
+    program = _compile_heat((2, 1))
+    with Session() as session:
+        plan = session.plan(program)
+        u0, u1 = _heat_fields()
+        with pytest.raises(ExecutionError, match="not a numpy array"):
+            plan.run([u0, u1, 2])  # timesteps belongs in scalars
+
+
+def test_concurrent_runs_on_one_plan_serialize():
+    """Two caller threads sharing one plan must not corrupt each other."""
+    import threading
+
+    program = _compile_heat((2, 1))
+    reference = _heat_fields()
+    run_with_shims_silenced(program, reference, [2])
+    with Session() as session:
+        plan = session.plan(program)
+        errors = []
+
+        def hammer():
+            try:
+                for _ in range(4):
+                    fields = _heat_fields()
+                    plan.run(fields, [2])
+                    assert np.array_equal(fields[0], reference[0])
+                    assert np.array_equal(fields[1], reference[1])
+            except Exception as err:  # noqa: BLE001 - assert in the main thread
+                errors.append(err)
+
+        callers = [threading.Thread(target=hammer) for _ in range(2)]
+        for caller in callers:
+            caller.start()
+        for caller in callers:
+            caller.join(timeout=120)
+        assert not errors, f"concurrent plan runs corrupted results: {errors}"
+
+
+# ---------------------------------------------------------------------------
+# shims keep legacy error behaviour
+# ---------------------------------------------------------------------------
+
+def test_shim_rejects_non_distributed_program():
+    module = build_jacobi_module()
+    program = compile_stencil_program(module, cpu_target())
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", DeprecationWarning)
+        with pytest.raises(ExecutionError, match="not compiled for a distributed"):
+            run_distributed(program, [np.zeros(10)], [1])
+
+
+def test_default_session_is_replaced_after_close():
+    first = default_session()
+    first.close()
+    second = default_session()
+    assert second is not first and not second.closed
