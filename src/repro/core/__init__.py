@@ -15,6 +15,7 @@ deprecated shims over a default session (bit-identical results).
 
 from .config import (
     EXECUTION_BACKENDS,
+    EXECUTION_CODEGEN,
     EXECUTION_RUNTIMES,
     ExecutionConfig,
     ExecutionError,
@@ -48,5 +49,5 @@ __all__ = [
     "run_local", "run_distributed", "scatter_field", "gather_field",
     "local_field_slices",
     "ExecutionResult", "ExecutionError", "RuntimeFallbackWarning",
-    "EXECUTION_BACKENDS", "EXECUTION_RUNTIMES",
+    "EXECUTION_BACKENDS", "EXECUTION_RUNTIMES", "EXECUTION_CODEGEN",
 ]

@@ -58,6 +58,18 @@ EXECUTION_BACKENDS = ("auto", "interpreter", "vectorized")
 #:   memory is unavailable.
 EXECUTION_RUNTIMES = ("threads", "processes")
 
+#: Valid values of :attr:`ExecutionConfig.codegen`:
+#:
+#: * ``"auto"`` (default) — plans whose traced time loop fits the megakernel
+#:   shape run the generated fused function; anything untraceable silently
+#:   keeps the planned-op path with the reason recorded on
+#:   ``Plan.codegen_fallback``;
+#: * ``"megakernel"`` — force the generated path and raise
+#:   :class:`ExecutionError` (with the tracer's reason) when it cannot be
+#:   built (benchmarks use this to avoid silently measuring dispatch);
+#: * ``"planned"`` — never generate code; always walk the ``PlannedOp`` list.
+EXECUTION_CODEGEN = ("auto", "megakernel", "planned")
+
 
 @dataclass(frozen=True)
 class ExecutionConfig:
@@ -72,6 +84,9 @@ class ExecutionConfig:
     backend: str = "auto"
     #: Where distributed ranks run (:data:`EXECUTION_RUNTIMES`).
     runtime: str = "threads"
+    #: Whether plans compile their time loop to a megakernel
+    #: (:data:`EXECUTION_CODEGEN`).
+    codegen: str = "auto"
     #: Expected number of distributed ranks; ``None`` derives it from the
     #: program's target.  Used by :meth:`Session.warmup` to pre-spawn workers
     #: and validated against the target's rank grid at plan time.
@@ -105,6 +120,17 @@ class ExecutionConfig:
             raise ExecutionError(
                 f"unknown execution runtime {self.runtime!r}; expected one of "
                 f"{', '.join(EXECUTION_RUNTIMES)}"
+            )
+        if self.codegen not in EXECUTION_CODEGEN:
+            raise ExecutionError(
+                f"unknown codegen mode {self.codegen!r}; expected one of "
+                f"{', '.join(EXECUTION_CODEGEN)}"
+            )
+        if self.codegen == "megakernel" and self.backend == "interpreter":
+            raise ExecutionError(
+                "codegen='megakernel' conflicts with backend='interpreter': "
+                "megakernels are emitted from compiled vectorized nests, "
+                "which the tree walker never builds"
             )
         if not isinstance(self.threads_per_rank, int) or self.threads_per_rank < 1:
             raise ExecutionError("threads_per_rank must be an integer >= 1")

@@ -35,11 +35,11 @@ from ..transforms.smp import convert_scf_to_openmp, count_parallel_regions
 from ..transforms.stencil import (
     HLSKernelInfo,
     count_gpu_kernels,
-    fuse_applies,
     infer_shapes,
     lower_stencil_to_gpu,
     lower_stencil_to_hls,
     lower_stencil_to_scf,
+    stencil_precodegen_pipeline,
 )
 from .targets import Target, TargetKind
 
@@ -71,19 +71,46 @@ class CompiledProgram:
     _kernel_cache: dict[str, "CompiledKernel"] = field(
         default_factory=dict, repr=False, compare=False
     )
+    #: Cache of megakernels (or their CodegenFallback) keyed by
+    #: ``(function, rank, size, signature, overlap)``; see
+    #: :meth:`repro.core.session.Plan.compile`.
+    _megakernel_cache: dict = field(default_factory=dict, repr=False, compare=False)
+    #: Lazily computed content hash (see :attr:`fingerprint`).
+    _fingerprint: Optional[str] = field(default=None, repr=False, compare=False)
 
     def __getstate__(self) -> dict:
         """Pickle support (the process runtime ships programs to workers).
 
-        The vectorized-kernel cache is process-local — nests are keyed by
-        operation identity and close over this process's module objects — so
-        it is dropped on the wire and rebuilt lazily by the receiver.  The
-        worker pool's shipping key is likewise parent-private.
+        The vectorized-kernel and megakernel caches are process-local — nests
+        are keyed by operation identity and megakernels close over this
+        process's buffers — so they are dropped on the wire and rebuilt
+        lazily by the receiver.  The fingerprint *is* shipped: it hashes the
+        printed module, so the worker's rebuilt megakernels stay keyed to the
+        same program identity without re-printing.  The worker pool's
+        shipping key is likewise parent-private.
         """
         state = self.__dict__.copy()
         state["_kernel_cache"] = {}
+        state["_megakernel_cache"] = {}
         state.pop("_pool_program_key", None)
         return state
+
+    @property
+    def fingerprint(self) -> str:
+        """A stable content hash of the lowered module + target.
+
+        Computed once from the printed IR (the module is frozen after
+        :func:`compile_stencil_program` returns) and shipped with the
+        program, this keys the session's cross-run megakernel cache.
+        """
+        if self._fingerprint is None:
+            from ..interp.codegen import program_fingerprint
+            from ..ir.printer import print_module
+
+            self._fingerprint = program_fingerprint(
+                print_module(self.module) + "\n" + repr(self.target)
+            )
+        return self._fingerprint
 
     def compiled_kernel(self, function_name: str) -> "CompiledKernel":
         """The vectorized kernel for one function (compiled once, then cached).
@@ -121,11 +148,12 @@ def compile_stencil_program(
     ctx = ctx or default_context()
     module.verify()
 
-    # Stencil-level preparation shared by every target.
+    # Stencil-level preparation shared by every target: the staged
+    # pre-codegen pipeline (fusion, then CSE/DCE/canonicalize) runs while the
+    # program is still at the stencil level, before any lowering erases the
+    # apply structure.
     infer_shapes(module)
-    if target.fuse_stencils:
-        fuse_applies(module)
-    canonicalize(module)
+    stencil_precodegen_pipeline(ctx, fuse=target.fuse_stencils).run(module)
     characteristics = characterize_module(module)
     stencil_regions = characteristics.stencil_regions
 

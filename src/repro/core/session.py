@@ -38,7 +38,15 @@ import numpy as np
 
 from .. import runtime as _process_runtime
 from ..interp import Interpreter, SimulatedMPI, compile_block_plans
-from ..interp.interpreter import wrap_argument
+from ..interp.codegen import (
+    CodegenError,
+    CodegenFallback,
+    CompiledMegakernel,
+    emit_megakernel,
+    megakernel_signature,
+    trace_program,
+)
+from ..interp.interpreter import ExecStatistics, wrap_argument
 from ..interp.mpi_runtime import CommStatistics, MPIRuntimeError
 from ..interp.thread_team import ThreadTeam
 from ..interp.vectorize import CompiledKernel
@@ -121,6 +129,11 @@ class Session:
         self._pool_manager = _process_runtime.PoolManager()
         self._field_pool = _process_runtime.SharedFieldPool()
         self._owns_runtime = True
+        #: Cross-run megakernel cache shared by every plan of this session,
+        #: keyed by (program fingerprint, function, rank, size, argument
+        #: signature, overlap flag); values are CompiledMegakernel or the
+        #: CodegenFallback that explains why none could be built.
+        self._megakernel_cache: dict[tuple, Any] = {}
 
     # -- lifecycle ------------------------------------------------------------
     @property
@@ -438,6 +451,30 @@ class Plan:
         self._func_op = self._functions[self.function]
         self._block_plans = compile_block_plans(self._func_op)
 
+        # Megakernel codegen: trace the time loop once at plan construction.
+        # "auto" engages for held plans on the flat (threads_per_rank == 1)
+        # compiled backends — the dispatch-bound regime the megakernel is
+        # for — and records its fallback reason otherwise; "megakernel"
+        # forces the path and raises when it cannot be built.  Process-world
+        # plans skip the parent-side trace: workers build (and cache) their
+        # own megakernels from the shipped program.
+        self.codegen_fallback: Optional[CodegenFallback] = None
+        self._trace = None
+        self._codegen_active = False
+        if config.codegen == "megakernel":
+            wanted = config.backend != "interpreter"
+        else:
+            wanted = (
+                config.codegen == "auto"
+                and not one_shot
+                and config.threads_per_rank == 1
+                and config.backend != "interpreter"
+            )
+        if wanted and self.runtime == "processes":
+            self._codegen_active = True  # resolved worker-side
+        elif wanted:
+            self.compile()
+
         if self.distributed:
             self.strategy = GridSlicingStrategy(program.target.rank_grid)
             if config.ranks is not None and config.ranks != self.strategy.rank_count:
@@ -488,6 +525,76 @@ class Plan:
             runtime=self.runtime if self.distributed else "threads",
         )
 
+    # -- megakernel codegen ---------------------------------------------------
+    def compile(self):
+        """Trace the plan's time loop for megakernel execution.
+
+        Called automatically at construction whenever the configuration
+        engages codegen; callable explicitly to force (re-)tracing.  Returns
+        the trace, or None with the reason recorded on
+        :attr:`codegen_fallback` — unless ``codegen="megakernel"`` is forced,
+        in which case failure raises :class:`ExecutionError`.  The generated
+        function itself is emitted (and cached on the session, keyed by
+        program fingerprint) on first run, when the concrete buffer layout
+        is known.
+        """
+        if self._trace is not None:
+            return self._trace
+        try:
+            if self.kernel is None:
+                raise CodegenError(
+                    "no compiled vectorized kernel to trace against"
+                )
+            self._trace = trace_program(
+                self._func_op, self.kernel, overlap=self.overlap
+            )
+            self._codegen_active = True
+            return self._trace
+        except CodegenError as err:
+            self._codegen_active = False
+            self.codegen_fallback = CodegenFallback(self.function, str(err))
+            if self.config.codegen == "megakernel":
+                raise ExecutionError(
+                    f"codegen='megakernel' was forced but {self.function!r} "
+                    f"cannot be megakernel-compiled: {err}"
+                ) from err
+            return None
+
+    def _megakernel_for(
+        self, args: Sequence[Any], rank: int, size: int
+    ) -> Optional[CompiledMegakernel]:
+        """The cached megakernel for one rank's concrete argument layout.
+
+        Emission failures are cached too (as CodegenFallback) so a layout
+        that cannot be emitted is not re-attempted every run; in auto mode
+        they deactivate codegen for this plan, in forced mode they raise.
+        """
+        key = (
+            self.program.fingerprint, self.function, rank, size,
+            megakernel_signature(args), self.overlap,
+        )
+        cache = self.session._megakernel_cache
+        cached = cache.get(key)
+        if cached is None:
+            try:
+                cached = emit_megakernel(
+                    self._trace, args, rank=rank, size=size
+                )
+            except CodegenError as err:
+                cached = CodegenFallback(self.function, str(err))
+            cache[key] = cached
+        if isinstance(cached, CodegenFallback):
+            if self.config.codegen == "megakernel":
+                raise ExecutionError(
+                    f"codegen='megakernel' was forced but {self.function!r} "
+                    f"cannot be emitted for rank {rank}/{size}: "
+                    f"{cached.reason}"
+                )
+            self.codegen_fallback = cached
+            self._codegen_active = False
+            return None
+        return cached
+
     # -- the hot path ---------------------------------------------------------
     def run(
         self, fields: Sequence[np.ndarray], scalars: Sequence[Any] = ()
@@ -521,6 +628,19 @@ class Plan:
         self, fields: Sequence[np.ndarray], scalars: Sequence[Any]
     ) -> ExecutionResult:
         config = self.config
+        if self._codegen_active and self._trace is not None:
+            args = [*fields, *scalars]
+            megakernel = self._megakernel_for(args, rank=0, size=1)
+            if megakernel is not None and megakernel.matches(args):
+                stats = ExecStatistics()
+                if megakernel.run(args, stats, None):
+                    return ExecutionResult(
+                        statistics=[stats],
+                        runtime="local",
+                        runtime_requested="local",
+                        threads_per_rank=config.threads_per_rank,
+                    )
+                # Aliased buffers this run: bounce to the planned path.
         interpreter = Interpreter(
             self.program.module,
             kernel=self.kernel,
@@ -637,7 +757,29 @@ class Plan:
         scalars = list(scalars)
         team = self.session._team(config.threads_per_rank)
 
+        # Megakernels are emitted per rank (each rank's halo plan differs)
+        # against the plan's stable local buffers, before the world launches;
+        # if any rank cannot be emitted, every rank keeps the planned path so
+        # the SPMD communication pattern stays uniform.
+        megakernels: Optional[list[CompiledMegakernel]] = None
+        if self._codegen_active and self._trace is not None:
+            candidates = []
+            for rank in range(size):
+                args = [*buffers.locals[rank], *scalars]
+                megakernel = self._megakernel_for(args, rank, size)
+                if megakernel is None or not megakernel.matches(args):
+                    candidates = None
+                    break
+                candidates.append(megakernel)
+            megakernels = candidates
+
         def body(comm) -> None:
+            if megakernels is not None:
+                args = [*buffers.locals[comm.rank], *scalars]
+                stats = ExecStatistics()
+                if megakernels[comm.rank].run(args, stats, comm):
+                    statistics[comm.rank] = stats
+                    return
             interpreter = Interpreter(
                 self.program.module,
                 comm=comm,
@@ -678,6 +820,7 @@ class Plan:
         reports = self.session._pool_manager.run_program_specs(
             self.program, self.function, config.backend, buffers.specs,
             list(scalars), config.timeout, config.threads_per_rank,
+            config.codegen if self._codegen_active else "planned",
         )
         ordered = sort_rank_stats(reports)
         statistics = [report.exec_stats for report in ordered]

@@ -59,6 +59,15 @@ each rank is a pooled worker process computing on shared-memory field
 buffers.  Both produce bit-identical fields and matching statistics.
 """
 
+from .codegen import (
+    CodegenError,
+    CodegenFallback,
+    CompiledMegakernel,
+    MegakernelTrace,
+    emit_megakernel,
+    megakernel_signature,
+    trace_program,
+)
 from .interpreter import (
     ExecStatistics,
     Interpreter,
@@ -93,6 +102,8 @@ __all__ = [
     "RequestArray", "RequestRef", "PlannedOp", "compile_block_plans",
     "CompiledKernel", "CompiledNest", "VectorizationError", "VectorizeFallback",
     "compile_kernel", "compile_loop_nest", "compile_loop_nest_or_fallback",
+    "CodegenError", "CodegenFallback", "CompiledMegakernel", "MegakernelTrace",
+    "trace_program", "emit_megakernel", "megakernel_signature",
     "SimulatedMPI", "RankCommunicator", "CommunicatorBase", "SimRequest",
     "MPIRuntimeError", "CommStatistics",
     "MemRefValue", "PointerValue", "RequestHandle", "DataTypeValue",

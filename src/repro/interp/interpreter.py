@@ -1206,6 +1206,61 @@ def _travel_tag(exchange: dmp.ExchangeAttr, sending: bool) -> int:
     return dim * 2 + (1 if direction > 0 else 0)
 
 
+def halo_transparent(op_name: str) -> bool:
+    """Whether in-flight halo receives survive the named operation.
+
+    The single source of truth for the completion-point discipline: the
+    planned-op path, the tree walker and the megakernel code generator all
+    consult this predicate, so their halo completion points cannot diverge.
+    """
+    return op_name in _HALO_TRANSPARENT_OPS or op_name.startswith("arith.")
+
+
+class SwapMessagePlan:
+    """Per-rank message geometry of one ``dmp.swap`` (no arrays, no comm).
+
+    ``sends`` holds ``(send_slice, neighbor, tag)`` triples and ``receives``
+    holds ``(recv_slice, neighbor, tag, staging_shape, elements, axis)``
+    records, in the exchange order of the op.  Computed once per (op, rank)
+    it parameterizes both the interpreter's swap handler and the emitted
+    megakernel's posted exchanges, guaranteeing identical slices and tags.
+    """
+
+    __slots__ = ("sends", "receives")
+
+    def __init__(self, sends: list, receives: list):
+        self.sends = sends
+        self.receives = receives
+
+
+def swap_message_plan(op: "dmp.SwapOp", rank: int) -> SwapMessagePlan:
+    """Resolve the send/receive geometry of ``op`` for one rank."""
+    grid = op.grid
+    sends: list = []
+    receives: list = []
+    for exchange in op.swaps:
+        neighbor = grid.neighbor_of(rank, exchange.neighbor)
+        if neighbor is None:
+            continue
+        send_offsets, send_sizes = exchange.send_region
+        send_slice = tuple(slice(o, o + s) for o, s in zip(send_offsets, send_sizes))
+        sends.append((send_slice, neighbor, _travel_tag(exchange, True)))
+        recv_offsets, recv_sizes = exchange.recv_region
+        recv_slice = tuple(slice(o, o + s) for o, s in zip(recv_offsets, recv_sizes))
+        axis = next((d for d, off in enumerate(exchange.neighbor) if off != 0), 0)
+        receives.append(
+            (
+                recv_slice,
+                neighbor,
+                _travel_tag(exchange, False),
+                tuple(exchange.size),
+                exchange.element_count(),
+                axis,
+            )
+        )
+    return SwapMessagePlan(sends, receives)
+
+
 @handler("dmp.swap")
 def _run_swap(interp: Interpreter, op: Operation, env: dict) -> None:
     """Halo exchange: post sends and non-blocking receives, defer completion.
@@ -1229,32 +1284,21 @@ def _run_swap(interp: Interpreter, op: Operation, env: dict) -> None:
     if interp.comm is None or interp.comm.size == 1:
         return
     comm = interp.comm
-    grid = op.grid
-    sends = []
-    receives = []
-    for exchange in op.swaps:
-        neighbor = grid.neighbor_of(comm.rank, exchange.neighbor)
-        if neighbor is None:
-            continue
-        send_offsets, send_sizes = exchange.send_region
-        send_slice = tuple(slice(o, o + s) for o, s in zip(send_offsets, send_sizes))
-        sends.append((array[send_slice].copy(), neighbor, _travel_tag(exchange, True)))
-        recv_offsets, recv_sizes = exchange.recv_region
-        recv_slice = tuple(slice(o, o + s) for o, s in zip(recv_offsets, recv_sizes))
-        receives.append((recv_slice, neighbor, _travel_tag(exchange, False), exchange))
-    for payload, neighbor, tag in sends:
+    plan = swap_message_plan(op, comm.rank)
+    # All payloads are copied out before any message is posted (buffered
+    # sends), exactly as before the geometry was factored into the plan.
+    payloads = [
+        (array[send_slice].copy(), neighbor, tag)
+        for send_slice, neighbor, tag in plan.sends
+    ]
+    for payload, neighbor, tag in payloads:
         comm.isend(payload, neighbor, tag)
         interp.stats.mpi_messages += 1
     items = []
-    for recv_slice, neighbor, tag, exchange in receives:
-        buffer = np.empty(exchange.size, dtype=array.dtype)
+    for recv_slice, neighbor, tag, staging_shape, elements, axis in plan.receives:
+        buffer = np.empty(staging_shape, dtype=array.dtype)
         request = comm.irecv(buffer, neighbor, tag)
-        axis = next(
-            (d for d, off in enumerate(exchange.neighbor) if off != 0), 0
-        )
-        items.append(
-            _HaloReceive(request, buffer, recv_slice, exchange.element_count(), axis)
-        )
+        items.append(_HaloReceive(request, buffer, recv_slice, elements, axis))
     halo = PendingHalo(array, items)
     if interp.overlap_halos:
         interp.pending_halos.append(halo)

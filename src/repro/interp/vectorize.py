@@ -221,11 +221,107 @@ _Ref = tuple
 _TEAM_MIN_CELLS = 4096
 
 
+# ---------------------------------------------------------------------------
+# statement emission (shared with repro.interp.codegen)
+# ---------------------------------------------------------------------------
+#
+# The tables below are the *source-code* counterparts of _BINARY_FNS and
+# _UNARY_FNS: each template applies exactly the same NumPy call / Python
+# operator as the callable the interpreter executes, so a statement emitted
+# from them computes bit-identical results.  The megakernel code generator
+# (repro.interp.codegen) renders nest instruction lists through these; ops
+# with no template fall back to calling the original table function through
+# the generated module's context tuple — still bit-identical by construction.
+
+BINARY_EXPRESSIONS: dict[str, str] = {
+    "arith.addf": "({a} + {b})",
+    "arith.subf": "({a} - {b})",
+    "arith.mulf": "({a} * {b})",
+    "arith.divf": "({a} / {b})",
+    "arith.powf": "({a} ** {b})",
+    "arith.maximumf": "_np.maximum({a}, {b})",
+    "arith.minimumf": "_np.minimum({a}, {b})",
+    "arith.addi": "({a} + {b})",
+    "arith.subi": "({a} - {b})",
+    "arith.muli": "({a} * {b})",
+    "arith.minsi": "_np.minimum({a}, {b})",
+    "arith.maxsi": "_np.maximum({a}, {b})",
+    "arith.cmpf:oeq": "_np.equal({a}, {b})",
+    "arith.cmpf:ogt": "_np.greater({a}, {b})",
+    "arith.cmpf:oge": "_np.greater_equal({a}, {b})",
+    "arith.cmpf:olt": "_np.less({a}, {b})",
+    "arith.cmpf:ole": "_np.less_equal({a}, {b})",
+    "arith.cmpf:one": "_np.not_equal({a}, {b})",
+    "arith.cmpi:eq": "_np.equal({a}, {b})",
+    "arith.cmpi:ne": "_np.not_equal({a}, {b})",
+    "arith.cmpi:slt": "_np.less({a}, {b})",
+    "arith.cmpi:sle": "_np.less_equal({a}, {b})",
+    "arith.cmpi:sgt": "_np.greater({a}, {b})",
+    "arith.cmpi:sge": "_np.greater_equal({a}, {b})",
+}
+
+_UNARY_ARRAY_EXPRESSIONS: dict[str, str] = {
+    "arith.negf": "(-{a})",
+    "arith.sitofp": "_np.asarray({a}, dtype=_np.float64)",
+    "arith.extf": "_np.asarray({a}, dtype=_np.float64)",
+    "arith.truncf":
+        "_np.asarray(_np.asarray({a}, dtype=_np.float32), dtype=_np.float64)",
+    "arith.fptosi": "_np.asarray({a}).astype(_np.int64)",
+    "arith.extsi": "{a}",
+    "arith.trunci": "{a}",
+}
+
+_UNARY_SCALAR_EXPRESSIONS: dict[str, str] = {
+    "arith.negf": "(-{a})",
+    "arith.sitofp": "float({a})",
+    "arith.extf": "float({a})",
+    "arith.truncf": "float(_np.float32({a}))",
+    "arith.fptosi": "int({a})",
+    "arith.extsi": "{a}",
+    "arith.trunci": "{a}",
+}
+
+
+def binary_expression(name: str, a: str, b: str) -> Optional[str]:
+    """Python source applying binary op ``name``, or None (no template)."""
+    template = BINARY_EXPRESSIONS.get(name)
+    return None if template is None else template.format(a=a, b=b)
+
+
+def unary_expression(name: str, operand: str, operand_is_array: bool) -> Optional[str]:
+    """Python source applying unary op ``name``, or None (no template).
+
+    The _UNARY_FNS callables branch on ``isinstance(a, np.ndarray)``; the
+    caller must therefore know statically whether the operand is an array
+    (pass None -> no template -> context-function fallback when unsure).
+    """
+    table = (
+        _UNARY_ARRAY_EXPRESSIONS if operand_is_array else _UNARY_SCALAR_EXPRESSIONS
+    )
+    template = table.get(name)
+    return None if template is None else template.format(a=operand)
+
+
+def widen_expression(source: str, dtype: np.dtype) -> str:
+    """The emitted-source equivalent of :func:`_widen` applied to ``source``."""
+    kind = dtype.kind
+    if kind == "f":
+        if dtype.itemsize == 8:
+            return source
+        return f"_np.asarray({source}, dtype=_np.float64)"
+    if kind == "b":
+        return source
+    if dtype == np.dtype(np.int64):
+        return source
+    return f"_np.asarray({source}, dtype=_np.int64)"
+
+
 class CompiledNest:
     """One vectorizable loop nest, compiled to NumPy slice expressions."""
 
     __slots__ = ("bounds", "instrs", "count_bounds", "rank", "op_name",
-                 "has_reduce", "last_fallback", "_alias_cache")
+                 "has_reduce", "last_fallback", "_alias_cache",
+                 "_region_cache", "_geometry_free_values")
 
     def __init__(
         self,
@@ -258,6 +354,27 @@ class CompiledNest:
         #: complete overlap-relevant state, so object identity (and id reuse)
         #: cannot poison it.
         self._alias_cache: dict[tuple, bool] = {}
+        #: Memoized slice plans (satellite of the codegen PR): resolving a
+        #: region turns per-axis affine expressions back into slices, which is
+        #: pure bookkeeping repeated identically on every invocation of a time
+        #: loop.  The cache keys on everything the resolution reads — the
+        #: concrete box, the free index values, and each accessed buffer's
+        #: memory layout — and stores geometry only (slices and shapes, never
+        #: array objects), so a hit rebuilds the records against the arrays of
+        #: *this* invocation.
+        self._region_cache: dict[tuple, list] = {}
+        free_values: list[SSAValue] = []
+        seen_free: set[int] = set()
+        for instr in self.instrs:
+            if instr[0] not in ("load", "store"):
+                continue
+            for affine in instr[3]:
+                for value in affine.free:
+                    if id(value) not in seen_free:
+                        seen_free.add(id(value))
+                        free_values.append(value)
+        #: The SSA values whose env entries parameterize region geometry.
+        self._geometry_free_values = tuple(free_values)
 
     # -- runtime ------------------------------------------------------------
     def execute(self, interp, env: dict) -> bool:
@@ -396,22 +513,64 @@ class CompiledNest:
         instruction index to ``(array, slices, view_shape, region_shape)``.
         Raising :class:`_Bailout` here means the box cannot be executed by
         slicing at all (and nothing has been written yet).
+
+        Successful resolutions are memoized per buffer layout: the slice
+        derivation depends only on the box, the free index values and each
+        accessed array's memory layout, so a repeated invocation (every
+        timestep of a time loop) skips the per-axis affine work entirely.
         """
-        loads: list[tuple[int, int, tuple]] = []
-        stores: list[tuple[int, int, tuple]] = []
-        regions: dict[int, tuple] = {}
+        accesses: list[tuple[int, bool, np.ndarray]] = []
         for position, instr in enumerate(self.instrs):
             kind = instr[0]
             if kind not in ("load", "store"):
                 continue
             array = interp.as_array(env[instr[2]])
-            axes = instr[3]
+            accesses.append((position, kind == "store", array))
+        try:
+            key = (
+                tuple(dims),
+                tuple(int(env[value]) for value in self._geometry_free_values),
+                tuple(
+                    (
+                        array.__array_interface__["data"][0],
+                        array.shape,
+                        array.strides,
+                        array.dtype.str,
+                    )
+                    for _, _, array in accesses
+                ),
+            )
+        except (KeyError, TypeError, ValueError):
+            key = None  # unhashable/unresolvable env: skip memoization
+        if key is not None:
+            cached = self._region_cache.get(key)
+            if cached is not None:
+                loads, stores, regions = [], [], {}
+                for (position, is_store, array), geometry in zip(accesses, cached):
+                    slices, view_shape, region_shape = geometry
+                    regions[position] = (array, slices, view_shape, region_shape)
+                    record = (position, id(array), slices)
+                    (stores if is_store else loads).append(record)
+                return loads, stores, regions
+        loads: list[tuple[int, int, tuple]] = []
+        stores: list[tuple[int, int, tuple]] = []
+        regions: dict[int, tuple] = {}
+        plan: list[tuple] = []
+        for position, is_store, array in accesses:
+            axes = self.instrs[position][3]
             slices, view_shape, region_shape = self._resolve_region(
-                array, axes, dims, env, kind == "store"
+                array, axes, dims, env, is_store
             )
             regions[position] = (array, slices, view_shape, region_shape)
+            plan.append((slices, view_shape, region_shape))
             record = (position, id(array), slices)
-            (loads if kind == "load" else stores).append(record)
+            (stores if is_store else loads).append(record)
+        if key is not None:
+            # Bailouts raise before reaching here, so only successful
+            # geometry is ever memoized.
+            if len(self._region_cache) >= 64:
+                self._region_cache.clear()
+            self._region_cache[key] = plan
         return loads, stores, regions
 
     # -- thread-team chunking -------------------------------------------------
@@ -1060,13 +1219,13 @@ class _NestCompiler:
 
         if name in _BINARY_FNS:
             self._emit(
-                "binary", op.results[0], _BINARY_FNS[name],
+                "binary", op.results[0], _BINARY_FNS[name], name,
                 self._value_ref(op.operands[0]), self._value_ref(op.operands[1]),
             )
             return
         if name in _UNARY_FNS:
             self._emit(
-                "unary", op.results[0], _UNARY_FNS[name],
+                "unary", op.results[0], _UNARY_FNS[name], name,
                 self._value_ref(op.operands[0]),
             )
             return
@@ -1076,7 +1235,7 @@ class _NestCompiler:
             if fn is None:
                 raise VectorizationError(f"cmpf predicate {op.predicate!r}")
             self._emit(
-                "binary", op.results[0], fn,
+                "binary", op.results[0], fn, f"arith.cmpf:{op.predicate}",
                 self._value_ref(op.operands[0]), self._value_ref(op.operands[1]),
             )
             return
@@ -1086,7 +1245,7 @@ class _NestCompiler:
             if fn is None:
                 raise VectorizationError(f"cmpi predicate {op.predicate!r}")
             self._emit(
-                "binary", op.results[0], fn,
+                "binary", op.results[0], fn, f"arith.cmpi:{op.predicate}",
                 self._value_ref(op.operands[0]), self._value_ref(op.operands[1]),
             )
             return
@@ -1103,8 +1262,12 @@ class _NestCompiler:
             return
         raise VectorizationError(f"operation {name!r} cannot be vectorized")
 
-    def _emit(self, kind: str, result: SSAValue, fn, *refs: _Ref) -> None:
-        self.instrs.append((kind, result, fn, *refs))
+    def _emit(self, kind: str, result: SSAValue, fn, name: str, *refs: _Ref) -> None:
+        # The trailing op name (``arith.addf``, ``arith.cmpf:<pred>``) keys
+        # the BINARY_EXPRESSIONS / unary_expression source templates; the
+        # positional layout up to the refs is unchanged, so _prepare_box's
+        # instr[2](instr[3], ...) dispatch is unaffected.
+        self.instrs.append((kind, result, fn, *refs, name))
         self.sym[result] = "array"
 
     def _compile_access(self, base: SSAValue, indices, result=None, stored=None) -> None:

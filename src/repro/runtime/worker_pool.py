@@ -14,9 +14,11 @@ queue):
 
 * ``("program", key, payload)`` — cache a pickled program under ``key``;
 * ``("run", run_id, key, rank, size, function, backend, field_specs,
-  scalars, timeout, threads_per_rank)`` — attach the shared-memory fields and
-  execute one rank (with an intra-rank thread team when
-  ``threads_per_rank > 1`` — the OpenMP level of the hybrid runtime);
+  scalars, timeout, threads_per_rank, codegen)`` — attach the shared-memory
+  fields and execute one rank (with an intra-rank thread team when
+  ``threads_per_rank > 1`` — the OpenMP level of the hybrid runtime;
+  ``codegen`` selects the worker-built megakernel fast path, cached on the
+  worker's unpickled program like the vectorized kernels);
 * ``("spmd", run_id, rank, size, payload, timeout)`` — run an arbitrary
   picklable ``fn(comm, *args)`` (tests and ad-hoc experiments);
 * ``("warmup", run_id, rank, threads_per_rank)`` — pre-spawn the worker's
@@ -100,7 +102,7 @@ def _worker_main(worker_index: int, commands, results, inboxes) -> None:
             continue
         if kind == "run":
             (_, run_id, key, rank, size, function_name, backend,
-             field_specs, scalars, timeout, threads_per_rank) = command
+             field_specs, scalars, timeout, threads_per_rank, codegen) = command
             fields: list[SharedField] = []
             try:
                 program = programs[key]
@@ -114,15 +116,26 @@ def _worker_main(worker_index: int, commands, results, inboxes) -> None:
                 comm = ProcessRankCommunicator(
                     rank, size, inboxes, run_id=run_id, timeout=timeout
                 )
-                interpreter = Interpreter(
-                    program.module, comm=comm, kernel=kernel,
-                    threads=threads_per_rank,
-                )
-                interpreter.call(
-                    function_name, *[field.array for field in fields], *scalars
-                )
+                args = [field.array for field in fields] + list(scalars)
+                stats = None
+                if codegen != "planned" and kernel is not None:
+                    megakernel = _worker_megakernel(
+                        program, function_name, kernel, args, rank, size,
+                        forced=(codegen == "megakernel"),
+                    )
+                    if megakernel is not None and megakernel.matches(args):
+                        candidate = ExecStatistics()
+                        if megakernel.run(args, candidate, comm):
+                            stats = candidate
+                if stats is None:
+                    interpreter = Interpreter(
+                        program.module, comm=comm, kernel=kernel,
+                        threads=threads_per_rank,
+                    )
+                    interpreter.call(function_name, *args)
+                    stats = interpreter.stats
                 results.put(
-                    ("done", run_id, rank, interpreter.stats, comm.statistics)
+                    ("done", run_id, rank, stats, comm.statistics)
                 )
             except BaseException as err:  # noqa: BLE001 - ship to the parent
                 results.put(
@@ -164,6 +177,51 @@ def _worker_main(worker_index: int, commands, results, inboxes) -> None:
                      f"{type(err).__name__}: {err}\n{traceback.format_exc()}")
                 )
             continue
+
+
+def _worker_megakernel(program, function_name, kernel, args, rank, size, *,
+                       forced: bool):
+    """This worker's megakernel for one (function, rank, layout) — or None.
+
+    Mirrors the parent-side session cache: built on the first run from the
+    shipped program (whose megakernel cache, like the vectorized-kernel
+    cache, was dropped on the wire) and kept on the worker's unpickled
+    CompiledProgram.  Failures are cached as CodegenFallback so they are not
+    re-attempted every run; ``forced`` turns them into errors shipped to the
+    parent instead of silent interpreter fallbacks.
+    """
+    from ..dialects.func import find_function
+    from ..interp.codegen import (
+        CodegenError,
+        CodegenFallback,
+        emit_megakernel,
+        megakernel_signature,
+        trace_program,
+    )
+
+    key = (function_name, rank, size, megakernel_signature(args))
+    cached = program._megakernel_cache.get(key)
+    if cached is None:
+        try:
+            func_op = find_function(program.module, function_name)
+            if func_op is None:
+                raise CodegenError(f"no function named {function_name!r}")
+            # Workers run the interpreter's default overlap discipline, so
+            # the megakernel is emitted with the same completion points.
+            trace = trace_program(func_op, kernel, overlap=True)
+            cached = emit_megakernel(trace, args, rank=rank, size=size)
+        except CodegenError as err:
+            cached = CodegenFallback(function_name, str(err))
+        program._megakernel_cache[key] = cached
+    if isinstance(cached, CodegenFallback):
+        if forced:
+            raise WorkerError(
+                f"codegen='megakernel' was forced but {function_name!r} "
+                f"cannot be megakernel-compiled on rank {rank}/{size}: "
+                f"{cached.reason}"
+            )
+        return None
+    return cached
 
 
 # ---------------------------------------------------------------------------
@@ -258,6 +316,7 @@ class WorkerPool:
         scalar_arguments: Sequence[Any],
         timeout: float,
         threads_per_rank: int = 1,
+        codegen: str = "planned",
     ) -> list[RankStats]:
         """Execute one rank per worker against pre-scattered shared fields."""
         size = len(field_specs)
@@ -273,7 +332,8 @@ class WorkerPool:
             for rank in range(size):
                 self._commands[rank].put(
                     ("run", run_id, key, rank, size, function_name, backend,
-                     list(field_specs[rank]), scalars, timeout, threads_per_rank)
+                     list(field_specs[rank]), scalars, timeout,
+                     threads_per_rank, codegen)
                 )
             reports = self._collect(run_id, size, timeout)
         return [RankStats(rank, exec_stats, comm_stats)
@@ -448,6 +508,7 @@ class PoolManager:
         scalar_arguments: Sequence[Any],
         timeout: float,
         threads_per_rank: int = 1,
+        codegen: str = "planned",
     ) -> list[RankStats]:
         """Run one rank per worker against pre-scattered shared-memory specs."""
         size = len(field_specs)
@@ -456,7 +517,7 @@ class PoolManager:
             try:
                 return pool.run_program(
                     program, function_name, backend, field_specs,
-                    scalar_arguments, timeout, threads_per_rank,
+                    scalar_arguments, timeout, threads_per_rank, codegen,
                 )
             except _PoolReplacedError:
                 continue  # the pool was grown, replaced, or had dead workers

@@ -1,7 +1,12 @@
 """Stencil-dialect transformations: shape inference, fusion and target lowerings."""
 
 from .shape_inference import ShapeInferenceError, StencilShapeInferencePass, infer_shapes
-from .stencil_fusion import StencilFusionPass, count_stencil_regions, fuse_applies
+from .stencil_fusion import (
+    StencilFusionPass,
+    count_stencil_regions,
+    fuse_applies,
+    stencil_precodegen_pipeline,
+)
 from .stencil_to_gpu import (
     ConvertStencilToGPUPass,
     count_gpu_kernels,
@@ -19,6 +24,7 @@ from .stencil_to_scf import (
 __all__ = [
     "StencilShapeInferencePass", "infer_shapes", "ShapeInferenceError",
     "StencilFusionPass", "fuse_applies", "count_stencil_regions",
+    "stencil_precodegen_pipeline",
     "ConvertStencilToSCFPass", "ConvertStencilToSCFTiledPass",
     "lower_stencil_to_scf", "StencilLoweringError",
     "ConvertStencilToGPUPass", "lower_stencil_to_gpu", "count_gpu_kernels",

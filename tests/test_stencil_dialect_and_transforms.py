@@ -128,6 +128,59 @@ class TestFusion:
         for left, right in zip(plain, fused):
             assert np.allclose(left, right)
 
+    def test_precodegen_pipeline_fuses_fig7_heat_chain(self):
+        """The staged default pipeline fuses *before* stencil_to_scf.
+
+        Fig. 7's heat chain applies the same star stencil to independent
+        fields; the staged pre-codegen pipeline (stencil-fusion, cse, dce,
+        canonicalize) must collapse them into one region while the program
+        is still at the stencil level — once ``lower_stencil_to_scf`` runs,
+        the apply structure is gone and fusion can never happen.
+        """
+        from repro.ir.context import default_context
+        from repro.transforms.stencil import (
+            count_stencil_regions,
+            stencil_precodegen_pipeline,
+        )
+
+        builder = StencilProgramBuilder("kernel", shape=(8, 8), halo=1, dtype="f64")
+        fields = [builder.add_field(name) for name in "abcdef"]
+
+        def heat(s):
+            lap = s.add(
+                s.add(s.access(0, (1, 0)), s.access(0, (-1, 0))),
+                s.add(s.access(0, (0, 1)), s.access(0, (0, -1))),
+            )
+            return s.add(s.access(0, (0, 0)), s.mul(s.constant(0.1), lap))
+
+        for source, dest in zip(fields[:3], fields[3:]):
+            builder.add_stencil([source], dest, heat)
+        module = builder.build()
+        infer_shapes(module)
+        before = count_stencil_regions(module)
+        assert before == 3
+        pipeline = stencil_precodegen_pipeline(default_context())
+        assert pipeline.pipeline_string().startswith("stencil-fusion,"), (
+            "fusion must be the first stage, ahead of any cleanup or lowering"
+        )
+        pipeline.run(module)
+        after = count_stencil_regions(module)
+        assert after < before and after == 1
+        # The staged pipeline left a lowerable stencil-level module behind.
+        lower_stencil_to_scf(module)
+        assert "stencil.apply" not in {op.name for op in module.walk()}
+
+    def test_compile_pipeline_orders_fusion_before_stencil_to_scf(self):
+        """compile_stencil_program reports the *fused* region count."""
+        from repro.core import compile_stencil_program, cpu_target
+
+        module = self.build_pw_like_module()
+        program = compile_stencil_program(module, cpu_target())
+        assert program.stencil_regions == 1, (
+            "two independent applies must be fused into one region by the "
+            "staged pipeline before lowering"
+        )
+
 
 class TestStencilToSCF:
     def test_lowering_removes_stencil_compute_ops(self, jacobi_module):
