@@ -15,17 +15,29 @@ thread teams (warmed up before the first run), and the Operator's plan is the
 amortized hot path.  The distributed result is checked against a single-rank
 run either way.
 
+``--trace timeline`` records the run — compile passes, per-timestep spans,
+halo post/wait windows, one track per rank — and writes Chrome trace-event
+JSON loadable in Perfetto (ui.perfetto.dev) or ``chrome://tracing``;
+summarize it with ``python -m repro.obs.report <file>``.
+
 Run with::
 
     python examples/distributed_wave.py \
-        [--runtime threads|processes] [--ranks 1|2|4] [--threads-per-rank N]
+        [--runtime threads|processes] [--ranks 1|2|4] [--threads-per-rank N] \
+        [--trace off|summary|timeline] [--trace-output wave_trace.json]
 """
 
 import argparse
 
 import numpy as np
 
-from repro.core import EXECUTION_RUNTIMES, ExecutionConfig, Session, dmp_target
+from repro.core import (
+    EXECUTION_RUNTIMES,
+    EXECUTION_TRACE,
+    ExecutionConfig,
+    Session,
+    dmp_target,
+)
 from repro.frontends.devito import Eq, Grid, Operator, TimeFunction, solve
 
 SHAPE = (32, 32)
@@ -65,6 +77,15 @@ def main() -> None:
         "--threads-per-rank", type=int, default=1,
         help="intra-rank thread-team size (hybrid MPI+OpenMP when > 1)",
     )
+    parser.add_argument(
+        "--trace", choices=EXECUTION_TRACE, default="off",
+        help="record the distributed run: 'summary' keeps per-span totals, "
+             "'timeline' additionally keeps every span for Perfetto export",
+    )
+    parser.add_argument(
+        "--trace-output", default="wave_trace.json",
+        help="Chrome trace-event JSON path written when --trace is not 'off'",
+    )
     args = parser.parse_args()
 
     single_rank = simulate()
@@ -74,6 +95,7 @@ def main() -> None:
         runtime=args.runtime,
         ranks=args.ranks,
         threads_per_rank=args.threads_per_rank,
+        trace=args.trace,
     )
     with Session(config) as session:
         # Pre-spawn workers and thread teams so the first run pays no
@@ -84,6 +106,11 @@ def main() -> None:
             config=config,
             session=session,
         )
+        if args.trace != "off":
+            session.dump_trace(args.trace_output)
+            print(f"trace written to {args.trace_output} "
+                  "(open in ui.perfetto.dev, or run "
+                  f"'python -m repro.obs.report {args.trace_output}')")
 
     error = np.abs(single_rank - distributed).max()
     print(f"{args.ranks}-rank x {args.threads_per_rank}-thread distributed "

@@ -5,11 +5,19 @@ Models 2D heat diffusion symbolically, runs it through both the native
 prints the modelled single-node ARCHER2 throughput for the paper-sized
 problem (fig. 7a).
 
-Run with:  python examples/heat_diffusion_devito.py
+``--trace timeline`` records the shared-stack run (compile passes, frontend
+lowering, per-timestep spans) and writes Chrome trace-event JSON loadable in
+Perfetto (ui.perfetto.dev); summarize it with
+``python -m repro.obs.report <file>``.
+
+Run with:  python examples/heat_diffusion_devito.py [--trace timeline]
 """
+
+import argparse
 
 import numpy as np
 
+from repro.core import EXECUTION_TRACE, ExecutionConfig, Session
 from repro.frontends.devito import Eq, Grid, Operator, TimeFunction, solve
 from repro.machine import ARCHER2_NODE, DEVITO_NATIVE, XDSL_CPU, estimate_cpu_node
 from repro.evaluation.experiments import _devito_characteristics
@@ -18,7 +26,7 @@ SHAPE = (48, 48)
 TIMESTEPS = 20
 
 
-def simulate(backend: str) -> np.ndarray:
+def simulate(backend: str, config=None, session=None) -> np.ndarray:
     grid = Grid(shape=SHAPE, extent=(1.0, 1.0))
     u = TimeFunction(name="u", grid=grid, space_order=2, dtype=np.float64)
     # A hot square in the middle of the plate.
@@ -27,14 +35,34 @@ def simulate(backend: str) -> np.ndarray:
 
     heat_equation = Eq(u.dt, 0.5 * u.laplace)
     update = Eq(u.forward, solve(heat_equation, u.forward))
-    op = Operator([update], backend=backend)
+    op = Operator([update], backend=backend, config=config, session=session)
     op.apply(time=TIMESTEPS, dt=1e-5)
     return np.array(u.data[Operator.buffer_holding_time(u, TIMESTEPS)])
 
 
 def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--trace", choices=EXECUTION_TRACE, default="off",
+        help="record the shared-stack run and export its timeline",
+    )
+    parser.add_argument(
+        "--trace-output", default="heat_trace.json",
+        help="Chrome trace-event JSON path written when --trace is not 'off'",
+    )
+    args = parser.parse_args()
+
     native = simulate("native")
-    shared_stack = simulate("xdsl")
+    if args.trace == "off":
+        shared_stack = simulate("xdsl")
+    else:
+        config = ExecutionConfig(trace=args.trace)
+        with Session(config) as session:
+            shared_stack = simulate("xdsl", config=config, session=session)
+            session.dump_trace(args.trace_output)
+        print(f"trace written to {args.trace_output} "
+              "(open in ui.perfetto.dev, or run "
+              f"'python -m repro.obs.report {args.trace_output}')")
     error = np.abs(native - shared_stack).max()
     print(f"native Devito vs shared-stack result: max |difference| = {error:.3e}")
     assert error < 1e-10, "the two back-ends must agree"

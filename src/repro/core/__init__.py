@@ -17,6 +17,7 @@ from .config import (
     EXECUTION_BACKENDS,
     EXECUTION_CODEGEN,
     EXECUTION_RUNTIMES,
+    EXECUTION_TRACE,
     ExecutionConfig,
     ExecutionError,
     RuntimeFallbackWarning,
@@ -50,4 +51,5 @@ __all__ = [
     "local_field_slices",
     "ExecutionResult", "ExecutionError", "RuntimeFallbackWarning",
     "EXECUTION_BACKENDS", "EXECUTION_RUNTIMES", "EXECUTION_CODEGEN",
+    "EXECUTION_TRACE",
 ]

@@ -15,6 +15,7 @@ nothing from the rest of the package.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, fields, replace
 from typing import Optional, Sequence
 
@@ -70,6 +71,20 @@ EXECUTION_RUNTIMES = ("threads", "processes")
 #: * ``"planned"`` — never generate code; always walk the ``PlannedOp`` list.
 EXECUTION_CODEGEN = ("auto", "megakernel", "planned")
 
+#: Valid values of :attr:`ExecutionConfig.trace`:
+#:
+#: * ``"off"`` — no tracing; the hot paths stay statement-identical to the
+#:   untraced build (megakernels are emitted without any span bookkeeping);
+#: * ``"summary"`` — per-span-name totals only (counts + seconds), bounded
+#:   memory regardless of run length;
+#: * ``"timeline"`` — additionally record every span into a bounded ring
+#:   buffer per track, exportable as Chrome trace-event JSON via
+#:   ``Session.dump_trace(path)`` / ``ExecutionResult.trace``.
+#:
+#: The default (``None``) resolves from the ``REPRO_TRACE`` environment
+#: variable, falling back to ``"off"``.
+EXECUTION_TRACE = ("off", "summary", "timeline")
+
 
 @dataclass(frozen=True)
 class ExecutionConfig:
@@ -109,8 +124,19 @@ class ExecutionConfig:
     #: session is entered as a context manager, so the first ``plan.run()``
     #: pays no spawn latency.
     warm_start: bool = False
+    #: Observability mode (:data:`EXECUTION_TRACE`); ``None`` resolves from
+    #: the ``REPRO_TRACE`` environment variable (default ``"off"``).
+    trace: Optional[str] = None
 
     def __post_init__(self) -> None:
+        if self.trace is None:
+            resolved = os.environ.get("REPRO_TRACE", "").strip() or "off"
+            object.__setattr__(self, "trace", resolved)
+        if self.trace not in EXECUTION_TRACE:
+            raise ExecutionError(
+                f"unknown trace mode {self.trace!r}; expected one of "
+                f"{', '.join(EXECUTION_TRACE)} (or unset REPRO_TRACE)"
+            )
         if self.backend not in EXECUTION_BACKENDS:
             raise ExecutionError(
                 f"unknown execution backend {self.backend!r}; expected one of "

@@ -22,7 +22,7 @@ statistics, but a fresh plan per call — repeated callers should hold a
 from __future__ import annotations
 
 import warnings
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any, Optional, Sequence
 
 import numpy as np
@@ -87,6 +87,10 @@ class ExecutionResult:
     #: when the request degraded (``"processes"`` falling back to
     #: ``"threads"``), which also emits a :class:`RuntimeFallbackWarning`.
     runtime_requested: str = "local"
+    #: The run's merged multi-track timeline (a
+    #: :class:`repro.obs.TraceTimeline` with the compile, session, and
+    #: per-rank tracks) when the run was traced, else None.
+    trace: Optional[Any] = field(default=None, repr=False, compare=False)
 
     @property
     def total_cells_updated(self) -> int:

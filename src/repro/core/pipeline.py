@@ -21,6 +21,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 from ..dialects.builtin import ModuleOp
 from ..ir.context import MLContext, default_context
+from ..obs import compile_tracing
 from ..machine.kernel_model import ProgramCharacteristics, characterize_module
 from ..transforms.common import canonicalize, hoist_loop_invariant_code
 from ..transforms.distribute import (
@@ -77,6 +78,9 @@ class CompiledProgram:
     _megakernel_cache: dict = field(default_factory=dict, repr=False, compare=False)
     #: Lazily computed content hash (see :attr:`fingerprint`).
     _fingerprint: Optional[str] = field(default=None, repr=False, compare=False)
+    #: Compile-phase trace (a :class:`repro.obs.TraceRecord` with pipeline
+    #: stage and per-pass spans); merged into every traced run's timeline.
+    compile_record: Optional[object] = field(default=None, repr=False, compare=False)
 
     def __getstate__(self) -> dict:
         """Pickle support (the process runtime ships programs to workers).
@@ -144,59 +148,79 @@ def compile_stencil_program(
     *,
     ctx: Optional[MLContext] = None,
 ) -> CompiledProgram:
-    """Lower a stencil-level module for ``target`` (in place) and describe it."""
+    """Lower a stencil-level module for ``target`` (in place) and describe it.
+
+    Every stage runs inside the thread-local compile-tracing scope: when a
+    frontend ``compile()`` already opened one, stage spans join the
+    frontend's track; otherwise this function owns the tracer.  Either way
+    the resulting :class:`~repro.obs.TraceRecord` travels on
+    :attr:`CompiledProgram.compile_record`.
+    """
     ctx = ctx or default_context()
-    module.verify()
+    with compile_tracing() as tracer:
+        with tracer.span("pipeline.verify"):
+            module.verify()
 
-    # Stencil-level preparation shared by every target: the staged
-    # pre-codegen pipeline (fusion, then CSE/DCE/canonicalize) runs while the
-    # program is still at the stencil level, before any lowering erases the
-    # apply structure.
-    infer_shapes(module)
-    stencil_precodegen_pipeline(ctx, fuse=target.fuse_stencils).run(module)
-    characteristics = characterize_module(module)
-    stencil_regions = characteristics.stencil_regions
+        # Stencil-level preparation shared by every target: the staged
+        # pre-codegen pipeline (fusion, then CSE/DCE/canonicalize) runs while
+        # the program is still at the stencil level, before any lowering
+        # erases the apply structure.
+        with tracer.span("pipeline.infer-shapes"):
+            infer_shapes(module)
+        with tracer.span("pipeline.precodegen"):
+            stencil_precodegen_pipeline(ctx, fuse=target.fuse_stencils).run(module)
+        with tracer.span("pipeline.characterize"):
+            characteristics = characterize_module(module)
+        stencil_regions = characteristics.stencil_regions
 
-    distribution: Optional[DistributionSummary] = None
-    hls_kernels: list[HLSKernelInfo] = []
-    parallel_regions = 0
-    gpu_kernels = 0
+        distribution: Optional[DistributionSummary] = None
+        hls_kernels: list[HLSKernelInfo] = []
+        parallel_regions = 0
+        gpu_kernels = 0
 
-    if target.is_distributed:
-        assert target.rank_grid is not None
-        strategy = GridSlicingStrategy(target.rank_grid)
-        distribution = distribute_stencil(module, strategy)
-        eliminate_redundant_swaps(module)
+        if target.is_distributed:
+            assert target.rank_grid is not None
+            with tracer.span("pipeline.distribute"):
+                strategy = GridSlicingStrategy(target.rank_grid)
+                distribution = distribute_stencil(module, strategy)
+                eliminate_redundant_swaps(module)
 
-    if target.kind == TargetKind.FPGA:
-        hls_kernels = lower_stencil_to_hls(module, optimize=target.fpga_optimize)
-        lower_stencil_to_scf(module)
-    elif target.kind == TargetKind.GPU:
-        gpu_kernels = lower_stencil_to_gpu(module)
-    else:
-        lower_stencil_to_scf(module, tile_sizes=target.tile_sizes)
+        with tracer.span("pipeline.lower-stencil"):
+            if target.kind == TargetKind.FPGA:
+                hls_kernels = lower_stencil_to_hls(
+                    module, optimize=target.fpga_optimize)
+                lower_stencil_to_scf(module)
+            elif target.kind == TargetKind.GPU:
+                gpu_kernels = lower_stencil_to_gpu(module)
+            else:
+                lower_stencil_to_scf(module, tile_sizes=target.tile_sizes)
 
-    if target.is_distributed and target.lower_to_library_calls:
-        lower_dmp_to_mpi(module)
-        lower_mpi_to_func(module)
+        if target.is_distributed and target.lower_to_library_calls:
+            with tracer.span("pipeline.lower-mpi"):
+                lower_dmp_to_mpi(module)
+                lower_mpi_to_func(module)
 
-    if target.kind in (TargetKind.CPU_OPENMP, TargetKind.DISTRIBUTED):
-        convert_scf_to_openmp(module, num_threads=target.threads)
-        parallel_regions = count_parallel_regions(module)
-    if target.kind == TargetKind.GPU:
-        gpu_kernels = count_gpu_kernels(module)
+        if target.kind in (TargetKind.CPU_OPENMP, TargetKind.DISTRIBUTED):
+            with tracer.span("pipeline.openmp"):
+                convert_scf_to_openmp(module, num_threads=target.threads)
+                parallel_regions = count_parallel_regions(module)
+        if target.kind == TargetKind.GPU:
+            gpu_kernels = count_gpu_kernels(module)
 
-    hoist_loop_invariant_code(module)
-    canonicalize(module)
-    module.verify()
+        with tracer.span("pipeline.finalize"):
+            hoist_loop_invariant_code(module)
+            canonicalize(module)
+            module.verify()
 
-    return CompiledProgram(
-        module=module,
-        target=target,
-        characteristics=characteristics,
-        stencil_regions=stencil_regions,
-        distribution=distribution,
-        hls_kernels=hls_kernels,
-        parallel_regions=parallel_regions,
-        gpu_kernels=gpu_kernels,
-    )
+        program = CompiledProgram(
+            module=module,
+            target=target,
+            characteristics=characteristics,
+            stencil_regions=stencil_regions,
+            distribution=distribution,
+            hls_kernels=hls_kernels,
+            parallel_regions=parallel_regions,
+            gpu_kernels=gpu_kernels,
+        )
+        program.compile_record = tracer.record()
+    return program

@@ -50,6 +50,7 @@ from ..interp.interpreter import ExecStatistics, wrap_argument
 from ..interp.mpi_runtime import CommStatistics, MPIRuntimeError
 from ..interp.thread_team import ThreadTeam
 from ..interp.vectorize import CompiledKernel
+from ..obs import MetricsRegistry, Tracer, TraceTimeline
 from ..runtime.stats import merge_comm_statistics, sort_rank_stats
 from ..transforms.distribute import GridSlicingStrategy
 from .config import (
@@ -115,6 +116,16 @@ class Session:
     def __init__(self, config: Optional[ExecutionConfig] = None, **overrides):
         self.config = ExecutionConfig.coerce(config, **overrides)
         self.counters = SessionCounters()
+        #: Unified counter registry: every run's ExecStatistics/CommStatistics
+        #: are ingested here (``exec.*`` / ``comm.*``) alongside session-level
+        #: counters such as megakernel cache hits and worker errors.
+        self.metrics = MetricsRegistry()
+        #: Lifecycle tracer ("session" track) when the session config traces.
+        self.tracer: Optional[Tracer] = (
+            Tracer(self.config.trace, track="session")
+            if self.config.trace != "off" else None
+        )
+        self._last_trace: Optional[TraceTimeline] = None
         self._closed = False
         self._lock = threading.Lock()
         #: Serializes thread-world runs: interleaving two SPMD worlds on one
@@ -131,8 +142,8 @@ class Session:
         self._owns_runtime = True
         #: Cross-run megakernel cache shared by every plan of this session,
         #: keyed by (program fingerprint, function, rank, size, argument
-        #: signature, overlap flag); values are CompiledMegakernel or the
-        #: CodegenFallback that explains why none could be built.
+        #: signature, overlap flag, traced flag); values are CompiledMegakernel
+        #: or the CodegenFallback that explains why none could be built.
         self._megakernel_cache: dict[tuple, Any] = {}
 
     # -- lifecycle ------------------------------------------------------------
@@ -197,6 +208,7 @@ class Session:
         """
         self._ensure_open()
         config = self.config
+        span = self.tracer.begin("session.warmup") if self.tracer is not None else 0.0
         if ranks is None:
             if program is not None and program.target.rank_grid is not None:
                 ranks = GridSlicingStrategy(program.target.rank_grid).rank_count
@@ -218,7 +230,26 @@ class Session:
                     self._team(threads)
         elif threads > 1:
             self._team(threads)
+        if self.tracer is not None:
+            self.tracer.end("session.warmup", span)
         self.counters.warmups += 1
+
+    def dump_trace(self, path: str) -> str:
+        """Write the most recent traced run's timeline as Chrome trace JSON.
+
+        The file loads directly in Perfetto (ui.perfetto.dev) or
+        ``chrome://tracing``: one track per rank plus the compile, session and
+        plan tracks.  Requires a prior run with ``trace="timeline"`` or
+        ``trace="summary"`` on this session.
+        """
+        if self._last_trace is None:
+            raise ExecutionError(
+                "no traced run to dump; run a plan with "
+                "ExecutionConfig(trace='timeline') (or REPRO_TRACE=timeline) "
+                "first"
+            )
+        self._last_trace.dump(path)
+        return path
 
     # -- planning and running -------------------------------------------------
     def plan(
@@ -396,6 +427,12 @@ class Plan:
         self.session = session
         self.program = program
         self.config = config
+        #: Lifecycle tracer ("plan" track): plan.build, run.scatter/run.gather
+        #: spans land here when the plan's config traces.
+        self.tracer: Optional[Tracer] = (
+            Tracer(config.trace, track="plan") if config.trace != "off" else None
+        )
+        build_span = self.tracer.begin("plan.build") if self.tracer is not None else 0.0
         #: One-shot plans (built by :meth:`Session.run` and the deprecated
         #: shims) keep the legacy thread-per-run discipline instead of the
         #: session's persistent rank gang.
@@ -487,6 +524,8 @@ class Plan:
             self.halo_lower = domain.halo_lower
             self.halo_upper = domain.halo_upper
             self.margin = normalize_margin(config.margin, self.halo_lower)
+        if self.tracer is not None:
+            self.tracer.end("plan.build", build_span)
 
     # -- lifecycle ------------------------------------------------------------
     @property
@@ -569,20 +608,24 @@ class Plan:
         that cannot be emitted is not re-attempted every run; in auto mode
         they deactivate codegen for this plan, in forced mode they raise.
         """
+        traced = self.config.trace != "off"
         key = (
             self.program.fingerprint, self.function, rank, size,
-            megakernel_signature(args), self.overlap,
+            megakernel_signature(args), self.overlap, traced,
         )
         cache = self.session._megakernel_cache
         cached = cache.get(key)
         if cached is None:
+            self.session.metrics.inc("megakernel.cache_miss")
             try:
                 cached = emit_megakernel(
-                    self._trace, args, rank=rank, size=size
+                    self._trace, args, rank=rank, size=size, traced=traced
                 )
             except CodegenError as err:
                 cached = CodegenFallback(self.function, str(err))
             cache[key] = cached
+        else:
+            self.session.metrics.inc("megakernel.cache_hit")
         if isinstance(cached, CodegenFallback):
             if self.config.codegen == "megakernel":
                 raise ExecutionError(
@@ -622,25 +665,39 @@ class Plan:
                     result = self._run_threads(fields, scalars)
         self.runs_completed += 1
         self.session.counters.runs_completed += 1
+        metrics = self.session.metrics
+        metrics.inc("runs")
+        metrics.ingest_all(result.statistics, "exec.")
+        if result.comm_statistics is not None:
+            metrics.ingest(result.comm_statistics, "comm.")
         return result
 
     def _run_local(
         self, fields: Sequence[np.ndarray], scalars: Sequence[Any]
     ) -> ExecutionResult:
         config = self.config
+        tracer = (
+            Tracer(config.trace, track="rank 0")
+            if config.trace != "off" else None
+        )
         if self._codegen_active and self._trace is not None:
             args = [*fields, *scalars]
             megakernel = self._megakernel_for(args, rank=0, size=1)
             if megakernel is not None and megakernel.matches(args):
                 stats = ExecStatistics()
-                if megakernel.run(args, stats, None):
-                    return ExecutionResult(
-                        statistics=[stats],
-                        runtime="local",
-                        runtime_requested="local",
-                        threads_per_rank=config.threads_per_rank,
+                if megakernel.run(args, stats, None, tracer):
+                    self.session.metrics.inc("megakernel.engaged")
+                    return self._attach_trace(
+                        ExecutionResult(
+                            statistics=[stats],
+                            runtime="local",
+                            runtime_requested="local",
+                            threads_per_rank=config.threads_per_rank,
+                        ),
+                        [tracer],
                     )
                 # Aliased buffers this run: bounce to the planned path.
+            self.session.metrics.inc("megakernel.fallback")
         interpreter = Interpreter(
             self.program.module,
             kernel=self.kernel,
@@ -649,13 +706,17 @@ class Plan:
             functions=self._functions,
             block_plans=self._block_plans,
             team=self.session._team(config.threads_per_rank),
+            tracer=tracer,
         )
         interpreter.call(self.function, *fields, *scalars)
-        return ExecutionResult(
-            statistics=[interpreter.stats],
-            runtime="local",
-            runtime_requested="local",
-            threads_per_rank=config.threads_per_rank,
+        return self._attach_trace(
+            ExecutionResult(
+                statistics=[interpreter.stats],
+                runtime="local",
+                runtime_requested="local",
+                threads_per_rank=config.threads_per_rank,
+            ),
+            [tracer],
         )
 
     def _buffers_for(self, fields: Sequence[np.ndarray]) -> _RunBuffers:
@@ -751,11 +812,17 @@ class Plan:
             raise ExecutionError(
                 f"{self.function} expects {expected} arguments, got {provided}"
             )
-        self._scatter(buffers, fields)
+        self._traced_move("run.scatter", self._scatter, buffers, fields)
         size = self.strategy.rank_count
         statistics: list = [None] * size
         scalars = list(scalars)
         team = self.session._team(config.threads_per_rank)
+        tracers: Optional[list[Tracer]] = None
+        if config.trace != "off":
+            tracers = [
+                Tracer(config.trace, track=f"rank {rank}") for rank in range(size)
+            ]
+        engaged = [False] * size
 
         # Megakernels are emitted per rank (each rank's halo plan differs)
         # against the plan's stable local buffers, before the world launches;
@@ -774,11 +841,13 @@ class Plan:
             megakernels = candidates
 
         def body(comm) -> None:
+            tracer = tracers[comm.rank] if tracers is not None else None
             if megakernels is not None:
                 args = [*buffers.locals[comm.rank], *scalars]
                 stats = ExecStatistics()
-                if megakernels[comm.rank].run(args, stats, comm):
+                if megakernels[comm.rank].run(args, stats, comm, tracer):
                     statistics[comm.rank] = stats
+                    engaged[comm.rank] = True
                     return
             interpreter = Interpreter(
                 self.program.module,
@@ -789,6 +858,7 @@ class Plan:
                 functions=self._functions,
                 block_plans=self._block_plans,
                 team=team,
+                tracer=tracer,
             )
             interpreter.call_prepared(
                 self._func_op, [*buffers.wrapped[comm.rank], *scalars]
@@ -808,20 +878,33 @@ class Plan:
                 f"ranks {missing} finished without reporting statistics; "
                 "the SPMD execution did not complete"
             )
-        self._gather(buffers, fields)
-        return self._result(list(statistics), world.statistics)
+        metrics = self.session.metrics
+        metrics.inc("megakernel.engaged", sum(engaged))
+        if self._codegen_active and not all(engaged):
+            metrics.inc("megakernel.fallback", size - sum(engaged))
+        self._traced_move("run.gather", self._gather, buffers, fields)
+        return self._attach_trace(
+            self._result(list(statistics), world.statistics), tracers
+        )
 
     def _run_processes(
         self, fields: Sequence[np.ndarray], scalars: Sequence[Any]
     ) -> ExecutionResult:
         config = self.config
         buffers = self._buffers_for(fields)
-        self._scatter(buffers, fields)
-        reports = self.session._pool_manager.run_program_specs(
-            self.program, self.function, config.backend, buffers.specs,
-            list(scalars), config.timeout, config.threads_per_rank,
-            config.codegen if self._codegen_active else "planned",
-        )
+        self._traced_move("run.scatter", self._scatter, buffers, fields)
+        try:
+            reports = self.session._pool_manager.run_program_specs(
+                self.program, self.function, config.backend, buffers.specs,
+                list(scalars), config.timeout, config.threads_per_rank,
+                config.codegen if self._codegen_active else "planned",
+                trace=config.trace,
+            )
+        except _process_runtime.WorkerError:
+            self.session.metrics.inc("worker.errors")
+            if self.tracer is not None:
+                self.tracer.instant("worker.error")
+            raise
         ordered = sort_rank_stats(reports)
         statistics = [report.exec_stats for report in ordered]
         comm = merge_comm_statistics([report.comm_stats for report in ordered])
@@ -838,12 +921,56 @@ class Plan:
         else:
             comm.shared_blocks_reused = buffers.fresh_reused
         buffers.runs += 1
-        self._gather(buffers, fields)
-        return self._result(statistics, comm)
+        self._traced_move("run.gather", self._gather, buffers, fields)
+        return self._attach_trace(
+            self._result(statistics, comm),
+            [report.trace for report in ordered],
+        )
 
     @staticmethod
     def _lease_count(buffers: _RunBuffers) -> int:
         return sum(len(row) for row in buffers.leases)
+
+    def _traced_move(self, name: str, move, buffers: _RunBuffers, fields) -> None:
+        """Run a scatter/gather helper under a plan-track span when tracing."""
+        if self.tracer is None:
+            move(buffers, fields)
+            return
+        span = self.tracer.begin(name)
+        try:
+            move(buffers, fields)
+        finally:
+            self.tracer.end(name, span)
+
+    def _attach_trace(
+        self, result: ExecutionResult, rank_traces: Optional[Sequence[Any]]
+    ) -> ExecutionResult:
+        """Merge the run's records into one timeline on ``result.trace``.
+
+        Tracks, in order: the compile pipeline's record (captured at
+        ``compile_stencil_program`` time and carried on the program), the
+        session and plan lifecycle tracers, then one track per rank.  Rank
+        entries may be live :class:`Tracer` instances (local/thread worlds)
+        or picklable :class:`TraceRecord` payloads shipped back by process
+        workers; either way their monotonic clocks are re-aligned against
+        wall time by the timeline merge.
+        """
+        if self.config.trace == "off":
+            return result
+        timeline = TraceTimeline()
+        timeline.add(getattr(self.program, "compile_record", None))
+        session_tracer = self.session.tracer
+        if session_tracer is not None:
+            timeline.add(session_tracer.record())
+        if self.tracer is not None:
+            timeline.add(self.tracer.record())
+        for entry in rank_traces or ():
+            if isinstance(entry, Tracer):
+                entry = entry.record()
+            timeline.add(entry)
+        result.trace = timeline
+        self.session._last_trace = timeline
+        return result
 
     def _result(
         self, statistics: list, comm: CommStatistics

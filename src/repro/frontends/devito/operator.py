@@ -372,9 +372,17 @@ class Operator:
         """Lower to the stencil dialect and run the shared pipeline (JIT-style)."""
         if self._compiled is not None and self._compiled_dt == dt:
             return self._compiled
-        lowerer = _EquationLowerer(self.equations, dt, self.name)
-        module = lowerer.build_module()
-        self._compiled = compile_stencil_program(module, self.target)
+        from ...obs import compile_tracing
+
+        with compile_tracing() as tracer:
+            span = tracer.begin("devito.lower")
+            lowerer = _EquationLowerer(self.equations, dt, self.name)
+            module = lowerer.build_module()
+            tracer.end("devito.lower", span)
+            self._compiled = compile_stencil_program(module, self.target)
+            # Fuller record than the pipeline's own: includes the frontend
+            # lowering span alongside the pass/stage spans.
+            self._compiled.compile_record = tracer.record()
         self._compiled_dt = dt
         self._lowerer = lowerer
         if self._plan is not None:

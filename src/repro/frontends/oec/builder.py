@@ -179,5 +179,12 @@ class StencilProgramBuilder:
                 session.plan(program).run([u, v], [timesteps])
         """
         from ...core import compile_stencil_program, cpu_target
+        from ...obs import compile_tracing
 
-        return compile_stencil_program(self.build(), target or cpu_target())
+        with compile_tracing() as tracer:
+            span = tracer.begin("oec.build")
+            module = self.build()
+            tracer.end("oec.build", span)
+            program = compile_stencil_program(module, target or cpu_target())
+            program.compile_record = tracer.record()
+        return program

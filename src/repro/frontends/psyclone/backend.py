@@ -262,11 +262,17 @@ class PsycloneXDSLBackend:
         ready for a session plan.
         """
         from ...core import compile_stencil_program, cpu_target
+        from ...obs import compile_tracing
 
-        module = self.build_module(
-            source_or_schedule, shape, iterations=iterations, scalars=scalars
-        )
-        return compile_stencil_program(module, target or cpu_target())
+        with compile_tracing() as tracer:
+            span = tracer.begin("psyclone.lower")
+            module = self.build_module(
+                source_or_schedule, shape, iterations=iterations, scalars=scalars
+            )
+            tracer.end("psyclone.lower", span)
+            program = compile_stencil_program(module, target or cpu_target())
+            program.compile_record = tracer.record()
+        return program
 
     def run(
         self,

@@ -520,14 +520,18 @@ class CompiledMegakernel:
     run to the planned-op path when the guard fails.
     """
 
-    __slots__ = ("label", "source", "signature", "array_indices", "_fn")
+    __slots__ = ("label", "source", "signature", "array_indices", "traced", "_fn")
 
     def __init__(self, label: str, source: str, signature: tuple,
-                 array_indices: tuple, namespace: dict):
+                 array_indices: tuple, namespace: dict, traced: bool = False):
         self.label = label
         self.source = source
         self.signature = signature
         self.array_indices = array_indices
+        #: Whether span bookkeeping was inlined at emission time.  Traced and
+        #: untraced kernels are separate cache entries; the untraced source is
+        #: statement-identical to a build without observability at all.
+        self.traced = traced
         code = compile(source, f"<megakernel:{label}>", "exec")
         exec(code, namespace)
         self._fn = namespace["_megakernel"]
@@ -549,14 +553,17 @@ class CompiledMegakernel:
                 return False
         return True
 
-    def run(self, args, stats, comm=None) -> bool:
+    def run(self, args, stats, comm=None, tracer=None) -> bool:
         """Execute; False bounces to the planned path (aliased buffers)."""
         arrays = [args[index] for index in self.array_indices]
         for first in range(len(arrays)):
             for second in range(first + 1, len(arrays)):
                 if np.shares_memory(arrays[first], arrays[second]):
                     return False
-        self._fn(args, stats, comm)
+        if self.traced:
+            self._fn(args, stats, comm, tracer)
+        else:
+            self._fn(args, stats, comm)
         return True
 
 
@@ -609,7 +616,7 @@ def _slice_key(slices) -> tuple:
 
 def emit_megakernel(trace: MegakernelTrace, sample_args, *, rank: int = 0,
                     size: int = 1, label: Optional[str] = None,
-                    ) -> CompiledMegakernel:
+                    traced: bool = False) -> CompiledMegakernel:
     """Emit (and compile) the megakernel of ``trace`` for one rank.
 
     ``sample_args`` fixes the buffer layout the generated code is specialized
@@ -617,19 +624,29 @@ def emit_megakernel(trace: MegakernelTrace, sample_args, *, rank: int = 0,
     Raises :class:`CodegenError` with a fallback reason when the concrete
     geometry cannot be emitted (aliased fields, rotation-dependent geometry,
     un-sliceable regions...).
+
+    With ``traced=True`` the generated function takes a fourth ``_tracer``
+    argument and brackets each timestep, nest, and halo post/wait with span
+    bookkeeping.  With ``traced=False`` (the default) no bookkeeping is
+    emitted at all — the source is statement-identical to a build without
+    the observability layer.
     """
-    emitter = _MegakernelEmitter(trace, list(sample_args), rank, size)
+    emitter = _MegakernelEmitter(trace, list(sample_args), rank, size,
+                                 traced=traced)
     return emitter.emit(
         label or f"{trace.function_name}@r{rank}of{size}"
     )
 
 
 class _MegakernelEmitter:
-    def __init__(self, trace: MegakernelTrace, args: list, rank: int, size: int):
+    def __init__(self, trace: MegakernelTrace, args: list, rank: int, size: int,
+                 traced: bool = False):
         self.trace = trace
         self.args = args
         self.rank = rank
         self.size = size
+        self.traced = traced
+        self._span = 0
         if len(args) != trace.arg_count:
             raise CodegenError(
                 f"expected {trace.arg_count} arguments, got {len(args)}"
@@ -673,6 +690,15 @@ class _MegakernelEmitter:
         self._var += 1
         return f"_v{self._var}"
 
+    def _span_lines(self, name: str) -> tuple[str, str]:
+        """Begin/end source lines for one inlined span (unique local var)."""
+        self._span += 1
+        var = f"_s{self._span}"
+        return (
+            f"{var} = _tracer.begin('{name}')",
+            f"_tracer.end('{name}', {var})",
+        )
+
     def _add_ctx(self, value) -> int:
         self.ctx.append(value)
         return len(self.ctx) - 1
@@ -713,7 +739,7 @@ class _MegakernelEmitter:
         }
         return CompiledMegakernel(
             label, source, megakernel_signature(self.args),
-            self.array_indices, namespace,
+            self.array_indices, namespace, traced=self.traced,
         )
 
     # -- one-iteration replay -------------------------------------------------
@@ -735,7 +761,13 @@ class _MegakernelEmitter:
             for ordinal, _array, _mock, elements in entries:
                 actions.append(("complete", ordinal, overlapped))
                 if emit:
-                    self.lines.append((1, f"_cm(_comm, _h{ordinal})"))
+                    if self.traced:
+                        begin, end = self._span_lines("halo.wait")
+                        self.lines.append((1, begin))
+                        self.lines.append((1, f"_cm(_comm, _h{ordinal})"))
+                        self.lines.append((1, end))
+                    else:
+                        self.lines.append((1, f"_cm(_comm, _h{ordinal})"))
                     self.iter_halo_elements += elements
                     if overlapped:
                         self.iter_overlapped += 1
@@ -767,9 +799,19 @@ class _MegakernelEmitter:
                 if emit:
                     slot = self._add_ctx(plan)
                     variable = self._var_for(src)
-                    self.lines.append(
-                        (1, f"_h{ordinal} = _post(_comm, {variable}, _ctx[{slot}])")
-                    )
+                    if self.traced:
+                        begin, end = self._span_lines("halo.post")
+                        self.lines.append((1, begin))
+                        self.lines.append(
+                            (1, f"_h{ordinal} = _post(_comm, {variable}, "
+                                f"_ctx[{slot}])")
+                        )
+                        self.lines.append((1, end))
+                    else:
+                        self.lines.append(
+                            (1, f"_h{ordinal} = _post(_comm, {variable}, "
+                                f"_ctx[{slot}])")
+                        )
                     self.iter_mpi_messages += len(plan.sends)
                 if self.trace.overlap:
                     inflight.append(entry)
@@ -826,6 +868,10 @@ class _MegakernelEmitter:
             actions.append(("nest", cells, tuple(dims)))
             if emit:
                 self.iter_cells += cells
+            spans = emit and self.traced
+            if spans:
+                nest_begin, nest_end = self._span_lines("nest")
+                self.lines.append((1, nest_begin))
             if overlap_plan is None:
                 self._emit_box(
                     nest, position_syms, env, dims, resolved, actions, emit
@@ -836,12 +882,20 @@ class _MegakernelEmitter:
                 interior = nest._resolve_regions(
                     _EMIT_INTERP, env, interior_dims
                 )
+                if spans:
+                    in_begin, in_end = self._span_lines("nest.interior")
+                    self.lines.append((1, in_begin))
                 self._emit_box(
                     nest, position_syms, env, interior_dims, interior,
                     actions, emit,
                 )
+                if spans:
+                    self.lines.append((1, in_end))
                 complete(list(inflight), overlapped=True)
                 inflight.clear()
+                if spans:
+                    bd_begin, bd_end = self._span_lines("nest.boundary")
+                    self.lines.append((1, bd_begin))
                 for strip_dims in strips:
                     strip_dims = [tuple(dim) for dim in strip_dims]
                     strip = nest._resolve_regions(
@@ -851,6 +905,10 @@ class _MegakernelEmitter:
                         nest, position_syms, env, strip_dims, strip,
                         actions, emit,
                     )
+                if spans:
+                    self.lines.append((1, bd_end))
+            if spans:
+                self.lines.append((1, nest_end))
         except _Bailout as bail:
             raise CodegenError(f"nest cannot be emitted: {bail.reason}")
 
@@ -1103,13 +1161,24 @@ class _MegakernelEmitter:
                 targets = ", ".join(f"b{j}" for j in range(len(perm)))
                 sources = ", ".join(f"b{j}" for j in perm)
                 loop_body.append(f"{targets} = {sources}")
+            if self.traced:
+                # One "step" span per time-loop trip, rotation included —
+                # mirrors the interpreter's per-iteration span.
+                loop_body = (
+                    ["_spt = _tracer.begin('step')"]
+                    + loop_body
+                    + ["_tracer.end('step', _spt)"]
+                )
             if not loop_body:
                 loop_body.append("pass")
             body.extend(indent + line for line in loop_body)
         body.append("return True")
-        return "def _megakernel(_args, _stats, _comm):\n" + "\n".join(
-            indent + line for line in body
-        ) + "\n"
+        header = (
+            "def _megakernel(_args, _stats, _comm, _tracer):\n"
+            if self.traced else
+            "def _megakernel(_args, _stats, _comm):\n"
+        )
+        return header + "\n".join(indent + line for line in body) + "\n"
 
 
 _FLOAT_BINOPS = frozenset({

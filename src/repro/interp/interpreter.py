@@ -108,10 +108,14 @@ class PendingHalo:
 
     def complete(self, interp: "Interpreter") -> None:
         comm = interp.require_comm()
+        tracer = interp.tracer
+        span = tracer.begin("halo.wait") if tracer is not None else 0.0
         for item in self.items:
             comm.wait(item.request)
             self.array[item.recv_slice] = item.buffer
             interp.stats.halo_elements_exchanged += item.elements
+        if tracer is not None:
+            tracer.end("halo.wait", span)
 
 
 #: Operations that provably cannot observe array *contents*, so pending halo
@@ -270,9 +274,15 @@ class Interpreter:
         functions: Optional[dict[str, func.FuncOp]] = None,
         block_plans: Optional[dict[int, list["PlannedOp"]]] = None,
         team: Optional[Any] = None,
+        tracer: Optional[Any] = None,
     ):
         self.module = module
         self.comm = comm
+        #: Span tracer (:class:`repro.obs.Tracer`) for this rank, or None.
+        #: Hooks sit at phase boundaries (timestep, nest, halo post/wait) —
+        #: never inside the per-op dispatch loops — and each costs one
+        #: ``is None`` check when tracing is off.
+        self.tracer = tracer
         #: Vectorized nests (from repro.interp.vectorize) consulted before
         #: tree-walking a loop; None runs everything through the tree walker.
         self.kernel = kernel
@@ -438,7 +448,15 @@ class Interpreter:
             # reads cells one by one, so every halo must have landed.
             self.complete_pending_halos()
             return False
-        executed = nest.execute(self, env)
+        tracer = self.tracer
+        if tracer is None:
+            executed = nest.execute(self, env)
+        else:
+            span = tracer.begin("nest")
+            try:
+                executed = nest.execute(self, env)
+            finally:
+                tracer.end("nest", span)
         if not executed:
             self.complete_pending_halos()
         return executed
@@ -535,13 +553,17 @@ class Interpreter:
             return [comm.rank]
         if symbol == "MPI_Comm_size":
             return [comm.size]
+        tracer = self.tracer
         if symbol in ("MPI_Send", "MPI_Isend"):
+            span = tracer.begin("halo.post") if tracer is not None else 0.0
             buffer, count, _dtype, dest, tag = args[0], args[1], args[2], args[3], args[4]
             data = self.as_array(buffer).reshape(-1)[: int(count)]
             comm.isend(data, int(dest), int(tag))
             self.stats.mpi_messages += 1
             if symbol == "MPI_Isend" and len(args) >= 7:
                 _mark_send_complete(args[6])
+            if tracer is not None:
+                tracer.end("halo.post", span)
             return [0]
         if symbol in ("MPI_Recv",):
             buffer, count, _dtype, source, tag = args[0], args[1], args[2], args[3], args[4]
@@ -549,18 +571,27 @@ class Interpreter:
             comm.recv(array, int(source), int(tag))
             return [0]
         if symbol == "MPI_Irecv":
+            span = tracer.begin("halo.post") if tracer is not None else 0.0
             buffer, count, _dtype, source, tag = args[0], args[1], args[2], args[3], args[4]
             array = self.as_array(buffer).reshape(-1)[: int(count)]
             request = comm.irecv(array, int(source), int(tag))
             if len(args) >= 7:
                 _store_pending(args[6], request)
+            if tracer is not None:
+                tracer.end("halo.post", span)
             return [0]
         if symbol == "MPI_Wait":
+            span = tracer.begin("halo.wait") if tracer is not None else 0.0
             _wait_request(comm, args[0])
+            if tracer is not None:
+                tracer.end("halo.wait", span)
             return [0]
         if symbol == "MPI_Waitall":
+            span = tracer.begin("halo.wait") if tracer is not None else 0.0
             count, requests = args[0], args[1]
             _waitall(comm, requests)
+            if tracer is not None:
+                tracer.end("halo.wait", span)
             return [0]
         if symbol in ("MPI_Allreduce", "MPI_Reduce"):
             send_buffer, recv_buffer = args[0], args[1]
@@ -813,17 +844,24 @@ def _run_for(interp: Interpreter, op: Operation, env: dict) -> None:
         raise InterpreterError("scf.for requires a positive step")
     carried = [interp.get(env, value) for value in op.iter_args]
     block = op.body.block
+    # Iteration-carried loops are the time loops of this codebase; each
+    # iteration is one "step" span.  Inner bound-only loops stay unspanned.
+    tracer = interp.tracer
+    traced_step = tracer is not None and len(op.iter_args) > 0
     # The body runs in a scoped copy of the environment so loop-local SSA
     # bindings (induction variable, iter args, body values) never leak into —
     # or go stale inside — the caller's environment across nested reuse.
     local_env = dict(env)
     for iteration in range(lower, upper, step):
+        span = tracer.begin("step") if traced_step else 0.0
         local_env[block.args[0]] = iteration
         for arg, value in zip(block.args[1:], carried):
             local_env[arg] = value
         yielded = interp.run_block(block, local_env)
         if yielded:
             carried = yielded
+        if traced_step:
+            tracer.end("step", span)
     for result, value in zip(op.results, carried):
         interp.set(env, result, value)
 
@@ -1284,6 +1322,8 @@ def _run_swap(interp: Interpreter, op: Operation, env: dict) -> None:
     if interp.comm is None or interp.comm.size == 1:
         return
     comm = interp.comm
+    tracer = interp.tracer
+    span = tracer.begin("halo.post") if tracer is not None else 0.0
     plan = swap_message_plan(op, comm.rank)
     # All payloads are copied out before any message is posted (buffered
     # sends), exactly as before the geometry was factored into the plan.
@@ -1299,6 +1339,8 @@ def _run_swap(interp: Interpreter, op: Operation, env: dict) -> None:
         buffer = np.empty(staging_shape, dtype=array.dtype)
         request = comm.irecv(buffer, neighbor, tag)
         items.append(_HaloReceive(request, buffer, recv_slice, elements, axis))
+    if tracer is not None:
+        tracer.end("halo.post", span)
     halo = PendingHalo(array, items)
     if interp.overlap_halos:
         interp.pending_halos.append(halo)
@@ -1386,9 +1428,13 @@ def _run_mpi_recv(interp: Interpreter, op: Operation, env: dict) -> None:
 def _run_mpi_isend(interp: Interpreter, op: Operation, env: dict) -> None:
     assert isinstance(op, mpi.IsendOp)
     comm = interp.require_comm()
+    tracer = interp.tracer
+    span = tracer.begin("halo.post") if tracer is not None else 0.0
     data = interp.as_array(interp.get(env, op.buffer)).reshape(-1)
     count = int(interp.get(env, op.count))
     comm.isend(data[:count], int(interp.get(env, op.peer)), int(interp.get(env, op.tag)))
+    if tracer is not None:
+        tracer.end("halo.post", span)
     interp.stats.mpi_messages += 1
     request = op.request
     assert request is not None
@@ -1426,7 +1472,11 @@ def _run_mpi_test(interp: Interpreter, op: Operation, env: dict) -> None:
 @handler("mpi.waitall")
 def _run_mpi_waitall(interp: Interpreter, op: Operation, env: dict) -> None:
     assert isinstance(op, mpi.WaitallOp)
+    tracer = interp.tracer
+    span = tracer.begin("halo.wait") if tracer is not None else 0.0
     _waitall(interp.require_comm(), interp.get(env, op.requests))
+    if tracer is not None:
+        tracer.end("halo.wait", span)
 
 
 @handler("mpi.reduce")

@@ -466,16 +466,25 @@ class CompiledNest:
             return False
         # The commit cannot raise: every prepared array was validated to have
         # exactly the target region's shape and dtype.
-        self._commit(interp, env, parts)
+        tracer = getattr(interp, "tracer", None)
+        if overlap is not None and tracer is not None:
+            span = tracer.begin("nest.interior")
+            self._commit(interp, env, parts)
+            tracer.end("nest.interior", span)
+        else:
+            self._commit(interp, env, parts)
         if overlap is not None:
             _, strips = overlap
             interp.complete_pending_halos(overlapped=True)
             # The strips were region-validated against the full box above
             # (their bounds are subsets), so preparing them cannot bail.
+            span = tracer.begin("nest.boundary") if tracer is not None else 0.0
             for strip_dims in strips:
                 self._commit(
                     interp, env, self._prepare_boxes(interp, env, strip_dims, None)
                 )
+            if tracer is not None:
+                tracer.end("nest.boundary", span)
         interp.stats.cells_updated += cells
         self.last_fallback = None
         return True

@@ -112,14 +112,26 @@ class PassManager:
         return self
 
     def run(self, module: Operation) -> PipelineReport:
-        """Apply every pass in order; return the pipeline report."""
+        """Apply every pass in order; return the pipeline report.
+
+        When a :func:`repro.obs.compile_tracing` scope is active on this
+        thread, every pass additionally lands there as a ``pass.<name>``
+        span, so per-pass wall times reach exported timelines instead of
+        being measured and discarded.
+        """
+        from ..obs import current_compile_tracer
+
+        tracer = current_compile_tracer()
         if self.verify_between_passes:
             module.verify()
         for pass_ in self.passes:
             ops_before = _count_ops(module)
+            span = tracer.begin(f"pass.{pass_.name}") if tracer is not None else 0.0
             start = time.perf_counter()
             pass_.apply(self.ctx, module)
             elapsed = time.perf_counter() - start
+            if tracer is not None:
+                tracer.end(f"pass.{pass_.name}", span)
             if self.verify_between_passes:
                 try:
                     module.verify()
@@ -131,6 +143,11 @@ class PassManager:
                 PassStatistics(pass_.name, elapsed, ops_before, _count_ops(module))
             )
         return self.report
+
+    @property
+    def timings(self) -> list[tuple[str, float]]:
+        """Per-pass ``(name, seconds)`` wall times from the last run(s)."""
+        return [(stat.pass_name, stat.seconds) for stat in self.report.statistics]
 
     def pipeline_string(self) -> str:
         """A human-readable description of the pipeline (mlir-opt style)."""

@@ -1,0 +1,40 @@
+"""repro.obs: span-based tracing, metrics, and timeline export.
+
+The observability layer is deliberately dependency-free in both directions:
+:mod:`repro.obs.tracer` imports only the standard library, so every other
+package (``ir``, ``core``, ``interp``, ``runtime``, the frontends) can hook
+into it without creating an import cycle.
+
+Three pieces:
+
+* :class:`Tracer` — a per-track span recorder (monotonic clocks, bounded
+  ring buffer, picklable :class:`TraceRecord` export) plus the thread-local
+  :func:`compile_tracing` scope used by the compile pipeline and the pass
+  manager.
+* :class:`MetricsRegistry` — a unified integer-counter registry; the legacy
+  ``ExecStatistics``/``CommStatistics`` dataclasses are compatibility views
+  materialised from it.
+* :class:`TraceTimeline` — merges per-rank/per-phase records into one
+  multi-track timeline and exports Chrome trace-event JSON (Perfetto) or a
+  human-readable profile table (``python -m repro.obs.report``).
+"""
+
+from .tracer import (
+    TRACE_MODES,
+    TraceRecord,
+    Tracer,
+    compile_tracing,
+    current_compile_tracer,
+)
+from .registry import MetricsRegistry
+from .export import TraceTimeline
+
+__all__ = [
+    "TRACE_MODES",
+    "TraceRecord",
+    "Tracer",
+    "compile_tracing",
+    "current_compile_tracer",
+    "MetricsRegistry",
+    "TraceTimeline",
+]

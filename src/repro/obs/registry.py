@@ -1,0 +1,75 @@
+"""Unified integer-counter registry.
+
+Every counter the runtime produces — the interpreter's ``ExecStatistics``,
+the communicators' ``CommStatistics``, session-lifecycle counts like
+megakernel cache hits — lands in one flat namespace here
+(``"exec.cells_updated"``, ``"comm.bytes_sent"``, ``"megakernel.cache_hit"``).
+
+The legacy dataclasses remain the *compatibility view*: merging per-rank
+statistics now means ingesting each rank into a registry and materialising
+the dataclass back out (:meth:`as_exec_statistics` /
+:meth:`as_comm_statistics`).  Both directions are plain integer sums over
+``dataclasses.fields`` in rank order, so results are bit-identical to the
+hand-written merges they replace.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Iterable
+
+
+class MetricsRegistry:
+    """Flat ``name -> int`` counter store with dataclass in/out views."""
+
+    __slots__ = ("_counters",)
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, int] = {}
+
+    def inc(self, name: str, value: int = 1) -> None:
+        self._counters[name] = self._counters.get(name, 0) + value
+
+    def get(self, name: str, default: int = 0) -> int:
+        return self._counters.get(name, default)
+
+    def merge_counts(self, counts: Dict[str, int]) -> None:
+        for name, value in counts.items():
+            self.inc(name, value)
+
+    def snapshot(self) -> Dict[str, int]:
+        """A copy of every counter, sorted by name."""
+        return dict(sorted(self._counters.items()))
+
+    def __len__(self) -> int:
+        return len(self._counters)
+
+    # ------------------------------------------------------------------
+    # Dataclass views.
+    # ------------------------------------------------------------------
+
+    def ingest(self, stats, prefix: str) -> None:
+        """Add every integer field of a statistics dataclass under *prefix*."""
+        for field in dataclasses.fields(type(stats)):
+            self.inc(prefix + field.name, getattr(stats, field.name))
+
+    def ingest_all(self, stats_list: Iterable, prefix: str) -> None:
+        for stats in stats_list:
+            self.ingest(stats, prefix)
+
+    def _as_dataclass(self, cls, prefix: str):
+        values = {field.name: self._counters.get(prefix + field.name, 0)
+                  for field in dataclasses.fields(cls)}
+        return cls(**values)
+
+    def as_exec_statistics(self, prefix: str = "exec."):
+        """Materialise the ``exec.*`` counters as an ``ExecStatistics``."""
+        from ..interp.interpreter import ExecStatistics
+
+        return self._as_dataclass(ExecStatistics, prefix)
+
+    def as_comm_statistics(self, prefix: str = "comm."):
+        """Materialise the ``comm.*`` counters as a ``CommStatistics``."""
+        from ..interp.mpi_runtime import CommStatistics
+
+        return self._as_dataclass(CommStatistics, prefix)

@@ -1,0 +1,112 @@
+"""Human-readable profile of a repro Chrome trace-event JSON file.
+
+Usage::
+
+    python -m repro.obs.report trace.json [--top N]
+
+Works from the dumped JSON alone (no live session required), so it runs on
+CI artifacts: it groups the ``X`` events per track, computes inclusive and
+exclusive time per span name, and prints the top spans plus counter totals.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Dict, List
+
+
+def _track_names(events: List[dict]) -> Dict[int, str]:
+    names: Dict[int, str] = {}
+    for event in events:
+        if event.get("ph") == "M" and event.get("name") == "process_name":
+            names[event["pid"]] = event.get("args", {}).get("name", str(event["pid"]))
+    return names
+
+
+def summarize(trace: dict) -> dict:
+    """Aggregate a Chrome trace dict into per-span rows and counters."""
+    events = trace.get("traceEvents", [])
+    spans = [event for event in events if event.get("ph") == "X"]
+    tracks = _track_names(events)
+
+    # Exclusive time per (pid, name): sweep each track's spans in start
+    # order with an interval stack, subtracting immediate children.
+    rows: Dict[str, dict] = {}
+    by_pid: Dict[int, List[dict]] = {}
+    for span in spans:
+        by_pid.setdefault(span.get("pid", 0), []).append(span)
+    for pid_spans in by_pid.values():
+        stack: List[list] = []  # [name, end_ts, child_us, start_ts]
+        for span in sorted(pid_spans, key=lambda s: (s["ts"], -s.get("dur", 0))):
+            ts, dur = span["ts"], span.get("dur", 0)
+            while stack and stack[-1][1] <= ts + 1e-6:
+                done = stack.pop()
+                row = rows[done[0]]
+                row["exclusive_us"] += max(0.0, (done[1] - done[3]) - done[2])
+            if stack:
+                stack[-1][2] += dur
+            name = span["name"]
+            row = rows.setdefault(
+                name, {"name": name, "count": 0, "inclusive_us": 0.0,
+                       "exclusive_us": 0.0})
+            row["count"] += 1
+            row["inclusive_us"] += dur
+            stack.append([name, ts + dur, 0.0, ts])
+        while stack:
+            done = stack.pop()
+            row = rows[done[0]]
+            row["exclusive_us"] += max(0.0, (done[1] - done[3]) - done[2])
+
+    return {
+        "tracks": [tracks[pid] for pid in sorted(tracks)],
+        "rows": sorted(rows.values(), key=lambda row: -row["inclusive_us"]),
+        "counters": trace.get("otherData", {}).get("counters", {}),
+        "span_count": len(spans),
+    }
+
+
+def render(summary: dict, top: int = 20) -> str:
+    lines = [f"tracks: {', '.join(summary['tracks']) or '(none)'}",
+             f"spans:  {summary['span_count']}", ""]
+    header = f"{'span':<28} {'count':>8} {'inclusive ms':>13} {'exclusive ms':>13}"
+    lines.append(header)
+    lines.append("-" * len(header))
+    for row in summary["rows"][:top]:
+        lines.append(f"{row['name']:<28} {row['count']:>8} "
+                     f"{row['inclusive_us'] / 1e3:>13.3f} "
+                     f"{row['exclusive_us'] / 1e3:>13.3f}")
+    if summary["counters"]:
+        lines.append("")
+        lines.append("counters:")
+        for name, value in sorted(summary["counters"].items()):
+            lines.append(f"  {name} = {value}")
+    return "\n".join(lines)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.report",
+        description="Print a profile summary of a repro trace JSON file.")
+    parser.add_argument("trace", help="path to a Session.dump_trace() JSON file")
+    parser.add_argument("--top", type=int, default=20,
+                        help="number of span rows to print (default 20)")
+    args = parser.parse_args(argv)
+
+    with open(args.trace, "r", encoding="utf-8") as handle:
+        trace = json.load(handle)
+    summary = summarize(trace)
+    try:
+        print(render(summary, top=args.top))
+    except BrokenPipeError:
+        # Downstream pager/head closed the pipe; that is not an error.
+        return 0
+    if summary["span_count"] == 0:
+        print("warning: trace contains no spans", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

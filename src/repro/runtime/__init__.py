@@ -43,6 +43,7 @@ from .stats import (
 from .worker_pool import (
     PoolManager,
     WorkerError,
+    WorkerFailure,
     WorkerPool,
     default_pool_manager,
     get_worker_pool,
@@ -55,7 +56,7 @@ __all__ = [
     "ProcessRankCommunicator", "MPRequest",
     "SharedField", "SharedFieldSpec",
     "processes_available", "default_context",
-    "WorkerPool", "WorkerError", "PoolManager",
+    "WorkerPool", "WorkerError", "WorkerFailure", "PoolManager",
     "get_worker_pool", "shutdown_worker_pool", "default_pool_manager",
     "run_program_processes", "run_spmd_processes",
     "RankStats", "merge_comm_statistics", "combine_exec_statistics",

@@ -6,15 +6,22 @@ result queue; both payload types (:class:`~repro.interp.ExecStatistics` and
 cross the process boundary untouched.  The parent merges them *in rank order*
 so repeated runs — and the thread runtime, whose world keeps one shared
 counter set — always produce identical aggregate numbers.
+
+The merges are implemented on :class:`repro.obs.MetricsRegistry`: every rank
+is ingested into the flat counter namespace and the dataclass is
+materialised back out.  Both directions are plain integer sums over
+``dataclasses.fields`` in rank order, so the results are bit-identical to
+the hand-written field-by-field merges they replaced.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Any, Optional, Sequence
 
 from ..interp.interpreter import ExecStatistics
 from ..interp.mpi_runtime import CommStatistics
+from ..obs.registry import MetricsRegistry
 
 
 @dataclass
@@ -24,6 +31,10 @@ class RankStats:
     rank: int
     exec_stats: ExecStatistics
     comm_stats: CommStatistics
+    #: The rank's :class:`repro.obs.TraceRecord` when the run was traced
+    #: (spans recorded against the worker's local monotonic clock; the
+    #: parent's timeline merge re-aligns them), else None.
+    trace: Optional[Any] = None
 
 
 def merge_comm_statistics(per_rank: Sequence[CommStatistics]) -> CommStatistics:
@@ -34,32 +45,16 @@ def merge_comm_statistics(per_rank: Sequence[CommStatistics]) -> CommStatistics:
     the same totals because both runtimes run the identical collective
     algorithms of :class:`~repro.interp.mpi_runtime.CommunicatorBase`.
     """
-    merged = CommStatistics()
-    for stats in per_rank:
-        merged.messages_sent += stats.messages_sent
-        merged.bytes_sent += stats.bytes_sent
-        merged.collectives += stats.collectives
-        merged.barriers += stats.barriers
-        merged.bytes_elided += stats.bytes_elided
-        merged.shared_blocks_reused += stats.shared_blocks_reused
-    return merged
+    registry = MetricsRegistry()
+    registry.ingest_all(per_rank, "comm.")
+    return registry.as_comm_statistics()
 
 
 def combine_exec_statistics(per_rank: Sequence[ExecStatistics]) -> ExecStatistics:
     """Sum per-rank execution counters into one world-wide summary."""
-    merged = ExecStatistics()
-    for stats in per_rank:
-        merged.ops_executed += stats.ops_executed
-        merged.kernel_launches += stats.kernel_launches
-        merged.host_synchronizations += stats.host_synchronizations
-        merged.omp_regions += stats.omp_regions
-        merged.omp_barriers += stats.omp_barriers
-        merged.halo_swaps += stats.halo_swaps
-        merged.halo_elements_exchanged += stats.halo_elements_exchanged
-        merged.mpi_messages += stats.mpi_messages
-        merged.cells_updated += stats.cells_updated
-        merged.halo_swaps_overlapped += stats.halo_swaps_overlapped
-    return merged
+    registry = MetricsRegistry()
+    registry.ingest_all(per_rank, "exec.")
+    return registry.as_exec_statistics()
 
 
 def sort_rank_stats(reports: Sequence[RankStats]) -> list[RankStats]:

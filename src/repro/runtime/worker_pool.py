@@ -14,21 +14,24 @@ queue):
 
 * ``("program", key, payload)`` — cache a pickled program under ``key``;
 * ``("run", run_id, key, rank, size, function, backend, field_specs,
-  scalars, timeout, threads_per_rank, codegen)`` — attach the shared-memory
-  fields and execute one rank (with an intra-rank thread team when
-  ``threads_per_rank > 1`` — the OpenMP level of the hybrid runtime;
+  scalars, timeout, threads_per_rank, codegen, trace)`` — attach the
+  shared-memory fields and execute one rank (with an intra-rank thread team
+  when ``threads_per_rank > 1`` — the OpenMP level of the hybrid runtime;
   ``codegen`` selects the worker-built megakernel fast path, cached on the
-  worker's unpickled program like the vectorized kernels);
+  worker's unpickled program like the vectorized kernels; ``trace`` turns on
+  the rank-local span tracer, whose record ships back with the reply);
 * ``("spmd", run_id, rank, size, payload, timeout)`` — run an arbitrary
   picklable ``fn(comm, *args)`` (tests and ad-hoc experiments);
 * ``("warmup", run_id, rank, threads_per_rank)`` — pre-spawn the worker's
   intra-rank thread team so the first hybrid run pays no spawn latency;
 * ``("stop",)`` — exit the worker loop.
 
-Workers answer ``("done", run_id, rank, result, comm_stats)`` or
-``("error", run_id, rank, description)``.  A failed or timed-out run poisons
-the pool (peers may still be blocked in receives), so the pool is shut down
-and the next run transparently starts a fresh one.
+Workers answer ``("done", run_id, rank, result, comm_stats, trace_record)``
+or ``("error", run_id, rank, failure)`` where ``failure`` is a picklable
+:class:`WorkerFailure` (rank, phase, exception type, traceback text).  A
+failed or timed-out run poisons the pool (peers may still be blocked in
+receives), so the pool is shut down and the next run transparently starts a
+fresh one.
 """
 
 from __future__ import annotations
@@ -42,12 +45,14 @@ import sys
 import threading
 import time
 import traceback
+from dataclasses import dataclass
 from typing import Any, Callable, Optional, Sequence
 
 import numpy as np
 
 from ..interp.interpreter import ExecStatistics, Interpreter
 from ..interp.mpi_runtime import CommStatistics
+from ..obs import Tracer
 from .mp_world import (
     ProcessRankCommunicator,
     SharedField,
@@ -58,8 +63,40 @@ from .mp_world import (
 from .stats import RankStats, merge_comm_statistics, sort_rank_stats
 
 
+@dataclass
+class WorkerFailure:
+    """Structured, picklable description of one rank's failure.
+
+    Replaces the raw ``traceback.format_exc()`` strings the workers used to
+    ship: the parent can now attribute a failure to a rank and phase
+    programmatically (it rides on :attr:`WorkerError.failure` and lands in
+    session metrics) while :meth:`describe` keeps the full human-readable
+    detail, traceback included.
+    """
+
+    rank: int
+    #: Which worker phase failed: ``"run"``, ``"spmd"`` or ``"warmup"``.
+    phase: str
+    #: Exception class name (the exception object itself may not pickle).
+    exception: str
+    message: str
+    traceback_text: str
+
+    def describe(self) -> str:
+        return (
+            f"rank {self.rank} failed during {self.phase}: "
+            f"{self.exception}: {self.message}\n{self.traceback_text}"
+        )
+
+
 class WorkerError(RuntimeError):
-    """A worker rank failed or the pool timed out; carries the remote detail."""
+    """A worker rank failed or the pool timed out; carries the remote detail.
+
+    When the failure came from a worker rank (rather than a parent-side
+    timeout), :attr:`failure` holds the structured :class:`WorkerFailure`.
+    """
+
+    failure: Optional[WorkerFailure] = None
 
 
 class _PoolReplacedError(Exception):
@@ -87,6 +124,17 @@ def _deep_recursion(limit: int = 10_000):
 # worker side
 # ---------------------------------------------------------------------------
 
+def _failure(rank: int, phase: str, err: BaseException) -> WorkerFailure:
+    """Build the structured failure shipped to the parent (must pickle)."""
+    return WorkerFailure(
+        rank=rank,
+        phase=phase,
+        exception=type(err).__name__,
+        message=str(err),
+        traceback_text=traceback.format_exc(),
+    )
+
+
 def _worker_main(worker_index: int, commands, results, inboxes) -> None:
     """The worker loop: cache programs, execute ranks, report statistics."""
     programs: dict[int, Any] = {}
@@ -102,7 +150,8 @@ def _worker_main(worker_index: int, commands, results, inboxes) -> None:
             continue
         if kind == "run":
             (_, run_id, key, rank, size, function_name, backend,
-             field_specs, scalars, timeout, threads_per_rank, codegen) = command
+             field_specs, scalars, timeout, threads_per_rank, codegen,
+             trace) = command
             fields: list[SharedField] = []
             try:
                 program = programs[key]
@@ -117,31 +166,37 @@ def _worker_main(worker_index: int, commands, results, inboxes) -> None:
                     rank, size, inboxes, run_id=run_id, timeout=timeout
                 )
                 args = [field.array for field in fields] + list(scalars)
+                # Spans are recorded against this process's monotonic clock;
+                # the tracer's paired wall/perf reference lets the parent
+                # re-align the record onto the shared timeline axis.
+                tracer = (
+                    Tracer(trace, track=f"rank {rank}")
+                    if trace != "off" else None
+                )
                 stats = None
                 if codegen != "planned" and kernel is not None:
                     megakernel = _worker_megakernel(
                         program, function_name, kernel, args, rank, size,
                         forced=(codegen == "megakernel"),
+                        traced=tracer is not None,
                     )
                     if megakernel is not None and megakernel.matches(args):
                         candidate = ExecStatistics()
-                        if megakernel.run(args, candidate, comm):
+                        if megakernel.run(args, candidate, comm, tracer):
                             stats = candidate
                 if stats is None:
                     interpreter = Interpreter(
                         program.module, comm=comm, kernel=kernel,
-                        threads=threads_per_rank,
+                        threads=threads_per_rank, tracer=tracer,
                     )
                     interpreter.call(function_name, *args)
                     stats = interpreter.stats
                 results.put(
-                    ("done", run_id, rank, stats, comm.statistics)
+                    ("done", run_id, rank, stats, comm.statistics,
+                     tracer.record() if tracer is not None else None)
                 )
             except BaseException as err:  # noqa: BLE001 - ship to the parent
-                results.put(
-                    ("error", run_id, rank,
-                     f"{type(err).__name__}: {err}\n{traceback.format_exc()}")
-                )
+                results.put(("error", run_id, rank, _failure(rank, "run", err)))
             finally:
                 for field in fields:
                     field.release()
@@ -154,12 +209,9 @@ def _worker_main(worker_index: int, commands, results, inboxes) -> None:
                     rank, size, inboxes, run_id=run_id, timeout=timeout
                 )
                 value = fn(comm, *args)
-                results.put(("done", run_id, rank, value, comm.statistics))
+                results.put(("done", run_id, rank, value, comm.statistics, None))
             except BaseException as err:  # noqa: BLE001 - ship to the parent
-                results.put(
-                    ("error", run_id, rank,
-                     f"{type(err).__name__}: {err}\n{traceback.format_exc()}")
-                )
+                results.put(("error", run_id, rank, _failure(rank, "spmd", err)))
             continue
         if kind == "warmup":
             # Pre-spawn the intra-rank thread team (the ROADMAP warm-up item):
@@ -170,17 +222,16 @@ def _worker_main(worker_index: int, commands, results, inboxes) -> None:
                     from ..interp.thread_team import get_thread_team
 
                     get_thread_team(threads_per_rank)
-                results.put(("done", run_id, rank, None, None))
+                results.put(("done", run_id, rank, None, None, None))
             except BaseException as err:  # noqa: BLE001 - ship to the parent
                 results.put(
-                    ("error", run_id, rank,
-                     f"{type(err).__name__}: {err}\n{traceback.format_exc()}")
+                    ("error", run_id, rank, _failure(rank, "warmup", err))
                 )
             continue
 
 
 def _worker_megakernel(program, function_name, kernel, args, rank, size, *,
-                       forced: bool):
+                       forced: bool, traced: bool = False):
     """This worker's megakernel for one (function, rank, layout) — or None.
 
     Mirrors the parent-side session cache: built on the first run from the
@@ -199,7 +250,7 @@ def _worker_megakernel(program, function_name, kernel, args, rank, size, *,
         trace_program,
     )
 
-    key = (function_name, rank, size, megakernel_signature(args))
+    key = (function_name, rank, size, megakernel_signature(args), traced)
     cached = program._megakernel_cache.get(key)
     if cached is None:
         try:
@@ -209,7 +260,8 @@ def _worker_megakernel(program, function_name, kernel, args, rank, size, *,
             # Workers run the interpreter's default overlap discipline, so
             # the megakernel is emitted with the same completion points.
             trace = trace_program(func_op, kernel, overlap=True)
-            cached = emit_megakernel(trace, args, rank=rank, size=size)
+            cached = emit_megakernel(trace, args, rank=rank, size=size,
+                                     traced=traced)
         except CodegenError as err:
             cached = CodegenFallback(function_name, str(err))
         program._megakernel_cache[key] = cached
@@ -317,6 +369,7 @@ class WorkerPool:
         timeout: float,
         threads_per_rank: int = 1,
         codegen: str = "planned",
+        trace: str = "off",
     ) -> list[RankStats]:
         """Execute one rank per worker against pre-scattered shared fields."""
         size = len(field_specs)
@@ -333,11 +386,11 @@ class WorkerPool:
                 self._commands[rank].put(
                     ("run", run_id, key, rank, size, function_name, backend,
                      list(field_specs[rank]), scalars, timeout,
-                     threads_per_rank, codegen)
+                     threads_per_rank, codegen, trace)
                 )
             reports = self._collect(run_id, size, timeout)
-        return [RankStats(rank, exec_stats, comm_stats)
-                for rank, exec_stats, comm_stats in reports]
+        return [RankStats(rank, exec_stats, comm_stats, trace=trace_record)
+                for rank, exec_stats, comm_stats, trace_record in reports]
 
     def run_spmd(
         self,
@@ -359,7 +412,10 @@ class WorkerPool:
                 self._commands[rank].put(("spmd", run_id, rank, size, payload, timeout))
             reports = self._collect(run_id, size, timeout)
         ordered = sorted(reports, key=lambda report: report[0])
-        return [value for _, value, _ in ordered], [stats for _, _, stats in ordered]
+        return (
+            [report[1] for report in ordered],
+            [report[2] for report in ordered],
+        )
 
     def warmup(self, ranks: int, threads_per_rank: int = 1,
                timeout: float = 60.0) -> None:
@@ -412,8 +468,13 @@ class WorkerPool:
                 continue  # stale report from a failed earlier run
             if tag == "error":
                 self.shutdown()
-                raise WorkerError(f"rank {rank} failed:\n{message[3]}")
-            reports.append((rank, message[3], message[4]))
+                failure = message[3]
+                if isinstance(failure, WorkerFailure):
+                    error = WorkerError(failure.describe())
+                    error.failure = failure
+                    raise error
+                raise WorkerError(f"rank {rank} failed:\n{failure}")
+            reports.append((rank, message[3], message[4], message[5]))
             seen.add(rank)
         return reports
 
@@ -509,6 +570,7 @@ class PoolManager:
         timeout: float,
         threads_per_rank: int = 1,
         codegen: str = "planned",
+        trace: str = "off",
     ) -> list[RankStats]:
         """Run one rank per worker against pre-scattered shared-memory specs."""
         size = len(field_specs)
@@ -518,6 +580,7 @@ class PoolManager:
                 return pool.run_program(
                     program, function_name, backend, field_specs,
                     scalar_arguments, timeout, threads_per_rank, codegen,
+                    trace,
                 )
             except _PoolReplacedError:
                 continue  # the pool was grown, replaced, or had dead workers
