@@ -1,24 +1,36 @@
 #!/usr/bin/env python
 """The bench-regression CI gate.
 
-Runs the execution-backend speedup benchmarks
-(``benchmarks/test_backend_speedup.py``) and the fig. 8 strong-scaling
-smokes — the flat 4-process one and the hybrid 2-ranks-x-2-threads one —
-collects every measured row into a ``BENCH_pr.json`` artifact (kernel,
-shape, backend, rank/thread shape, wall time, speedup), and **fails**
-(exit code 1) when any measured speedup drops below the floors committed in
-``benchmarks/baseline.json``.
+Two suites, selected with ``--suite``:
+
+* ``core`` (default) — the execution-backend speedup benchmarks
+  (``benchmarks/test_backend_speedup.py``) and the fig. 8 strong-scaling
+  smokes — the flat 4-process one and the hybrid 2-ranks-x-2-threads one.
+* ``serve`` — the serving-layer load generator
+  (``benchmarks/test_serve_load.py``): p50/p99 latency, throughput, and the
+  batched-vs-serialized dispatch speedup at 8 concurrent clients, plus one
+  loaded-run timeline trace written to ``--trace-output``.
+
+Either way every measured row lands in the ``--output`` JSON artifact
+(kernel, shape/load shape, wall time, speedup/value) and the gate **fails**
+(exit code 1) when any measurement drops below its suite's floors — or, for
+latency rows, rises above its ceilings — committed in
+``benchmarks/baseline.json`` (floors/ceilings whose key starts with
+``serve-`` belong to the serve suite, everything else to core).
 
 Usage (CI runs exactly this, offline — every dependency is installed by the
 job's install step, nothing is fetched here)::
 
     PYTHONPATH=src python benchmarks/bench_regression.py --output BENCH_pr.json
+    PYTHONPATH=src python benchmarks/bench_regression.py --suite serve \\
+        --output BENCH_serve.json --trace-output BENCH_serve_trace.json
 
 ``--floor-scale`` multiplies every baseline floor; it exists to *verify the
 gate itself*: ``--floor-scale 1e6`` must make the run fail, proving a
-synthetic regression is caught.  The strong-scaling smokes need >= 4 usable
-cores and an available process runtime; where they skip, their rows are
-recorded as skipped and their (optional) floors are not enforced.
+synthetic regression is caught.  The strong-scaling smokes and the serve
+batched-dispatch smoke need >= 4 usable cores and an available process
+runtime; where they skip, their rows are recorded as skipped and their
+(optional) floors are not enforced.
 """
 
 from __future__ import annotations
@@ -40,6 +52,7 @@ HYBRID_SMOKE_TEST = (
     "benchmarks/test_fig08_strong_scaling.py::"
     "test_hybrid_strong_scaling_smoke"
 )
+SERVE_LOAD_TEST = "benchmarks/test_serve_load.py"
 
 
 def _environment() -> dict:
@@ -114,8 +127,46 @@ def run_smoke(test_id: str, row_env: str) -> tuple[dict | None, int]:
             os.unlink(smoke_path)
 
 
+def run_serve_suite(trace_output: str | None) -> tuple[list[dict], int]:
+    """Run the serve load generator; return its rows and the pytest exit code.
+
+    The tests append their rows (a JSON list) to the file named by
+    ``BENCH_SERVE_JSON``; ``BENCH_SERVE_TRACE`` additionally requests one
+    loaded-run timeline trace at that path (uploaded as a CI artifact).
+    """
+    with tempfile.NamedTemporaryFile(suffix=".json", delete=False) as handle:
+        rows_path = handle.name
+    os.unlink(rows_path)  # only exists once a test measured something
+    env = _environment()
+    env["BENCH_SERVE_JSON"] = rows_path
+    if trace_output:
+        env["BENCH_SERVE_TRACE"] = os.path.abspath(trace_output)
+    try:
+        proc = subprocess.run(
+            [sys.executable, "-m", "pytest", SERVE_LOAD_TEST, "-q", "-s"],
+            cwd=REPO_ROOT,
+            env=env,
+            capture_output=True,
+            text=True,
+        )
+        sys.stdout.write(proc.stdout[-4000:])
+        if proc.returncode != 0:
+            sys.stderr.write(proc.stderr[-4000:])
+        rows: list[dict] = []
+        if os.path.exists(rows_path):
+            with open(rows_path) as handle:
+                rows = json.load(handle)
+        return rows, proc.returncode
+    finally:
+        if os.path.exists(rows_path):
+            os.unlink(rows_path)
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--suite", choices=("core", "serve"), default="core",
+                        help="core: backend speedups + fig. 8 smokes; "
+                             "serve: the serving-layer load generator")
     parser.add_argument("--output", default="BENCH_pr.json",
                         help="where to write the benchmark artifact")
     parser.add_argument("--baseline",
@@ -124,35 +175,57 @@ def main() -> int:
     parser.add_argument("--floor-scale", type=float, default=1.0,
                         help="multiply every floor (gate self-test: a large "
                              "value must make this script fail)")
+    parser.add_argument("--trace-output", default=None,
+                        help="serve suite only: where to write one loaded-run "
+                             "timeline trace (Chrome trace JSON)")
     args = parser.parse_args()
 
     with open(args.baseline) as handle:
         baseline = json.load(handle)
-    floors = {k: v * args.floor_scale for k, v in baseline["floors"].items()}
+    serve_suite = args.suite == "serve"
+
+    def in_suite(kernel: str) -> bool:
+        return kernel.startswith("serve-") == serve_suite
+
+    floors = {k: v * args.floor_scale
+              for k, v in baseline["floors"].items() if in_suite(k)}
+    ceilings = {k: v for k, v in baseline.get("ceilings", {}).items()
+                if in_suite(k)}
     optional = set(baseline.get("optional", []))
 
-    rows, speedup_rc = run_speedup_benchmarks()
-    smoke_failures = []
-    for kernel, test_id, row_env, ranks, threads in (
-        ("process-strong-scaling", SMOKE_TEST, "BENCH_SMOKE_JSON", [2, 2], 1),
-        ("hybrid-strong-scaling", HYBRID_SMOKE_TEST,
-         "BENCH_HYBRID_SMOKE_JSON", [2, 1], 2),
-    ):
-        smoke_row, smoke_rc = run_smoke(test_id, row_env)
-        smoke_skipped = smoke_row is None and smoke_rc == 0
-        if smoke_row is not None:
-            # Every smoke row records its rank/thread shape so BENCH_pr.json
-            # identifies which hybrid configuration produced the number.
-            smoke_row.setdefault("ranks", ranks)
-            smoke_row.setdefault("threads_per_rank", threads)
-            rows.append(smoke_row)
-        elif smoke_skipped:
-            rows.append({"kernel": kernel, "skipped": True,
-                         "ranks": ranks, "threads_per_rank": threads})
-        if smoke_rc != 0 and not smoke_skipped:
-            smoke_failures.append(f"{kernel} smoke failed (see output above)")
+    failures: list[str] = []
+    if serve_suite:
+        rows, serve_rc = run_serve_suite(args.trace_output)
+        if serve_rc != 0:
+            failures.append("serve load benchmarks failed (see output above)")
+    else:
+        rows, speedup_rc = run_speedup_benchmarks()
+        if speedup_rc != 0:
+            failures.append(
+                "backend-speedup benchmarks failed (see output above)"
+            )
+        for kernel, test_id, row_env, ranks, threads in (
+            ("process-strong-scaling", SMOKE_TEST,
+             "BENCH_SMOKE_JSON", [2, 2], 1),
+            ("hybrid-strong-scaling", HYBRID_SMOKE_TEST,
+             "BENCH_HYBRID_SMOKE_JSON", [2, 1], 2),
+        ):
+            smoke_row, smoke_rc = run_smoke(test_id, row_env)
+            smoke_skipped = smoke_row is None and smoke_rc == 0
+            if smoke_row is not None:
+                # Every smoke row records its rank/thread shape so the
+                # artifact identifies which configuration produced the number.
+                smoke_row.setdefault("ranks", ranks)
+                smoke_row.setdefault("threads_per_rank", threads)
+                rows.append(smoke_row)
+            elif smoke_skipped:
+                rows.append({"kernel": kernel, "skipped": True,
+                             "ranks": ranks, "threads_per_rank": threads})
+            if smoke_rc != 0 and not smoke_skipped:
+                failures.append(f"{kernel} smoke failed (see output above)")
 
     artifact = {
+        "suite": args.suite,
         "baseline": args.baseline,
         "floor_scale": args.floor_scale,
         "rows": rows,
@@ -161,11 +234,14 @@ def main() -> int:
         json.dump(artifact, handle, indent=2)
     print(f"\nwrote {len(rows)} rows to {args.output}")
 
-    failures: list[str] = list(smoke_failures)
-    if speedup_rc != 0:
-        failures.append("backend-speedup benchmarks failed (see output above)")
+    measured = {
+        row["kernel"]: row
+        for row in rows if "speedup" in row or "value" in row
+    }
 
-    measured = {row["kernel"]: row for row in rows if "speedup" in row}
+    def measurement(row: dict) -> float:
+        return row["speedup"] if "speedup" in row else row["value"]
+
     for kernel, floor in sorted(floors.items()):
         row = measured.get(kernel)
         if row is None:
@@ -174,13 +250,30 @@ def main() -> int:
                 continue
             failures.append(f"{kernel}: no measurement produced")
             continue
-        speedup = row["speedup"]
-        verdict = "ok" if speedup >= floor else "REGRESSION"
-        print(f"  {kernel:<24} {speedup:8.1f}x  (floor {floor:g}x)  {verdict}")
-        if speedup < floor:
+        value = measurement(row)
+        verdict = "ok" if value >= floor else "REGRESSION"
+        print(f"  {kernel:<24} {value:10.1f}  (floor {floor:g})  {verdict}")
+        if value < floor:
             failures.append(
-                f"{kernel}: speedup {speedup:.1f}x below the baseline "
-                f"floor {floor:g}x"
+                f"{kernel}: measured {value:.1f} below the baseline "
+                f"floor {floor:g}"
+            )
+
+    for kernel, ceiling in sorted(ceilings.items()):
+        row = measured.get(kernel)
+        if row is None:
+            if kernel in optional:
+                print(f"  {kernel:<24} skipped (optional)")
+                continue
+            failures.append(f"{kernel}: no measurement produced")
+            continue
+        value = measurement(row)
+        verdict = "ok" if value <= ceiling else "REGRESSION"
+        print(f"  {kernel:<24} {value:10.1f}  (ceiling {ceiling:g})  {verdict}")
+        if value > ceiling:
+            failures.append(
+                f"{kernel}: measured {value:.1f} above the baseline "
+                f"ceiling {ceiling:g}"
             )
 
     if failures:

@@ -15,6 +15,8 @@ Package layout:
 * :mod:`repro.machine` — performance models of ARCHER2, Slingshot, V100, U280.
 * :mod:`repro.frontends` — miniature Devito, PSyclone and OEC-style frontends.
 * :mod:`repro.core` — targets, the shared pipeline and executors.
+* :mod:`repro.serve` — the multi-tenant serving layer: one warm session,
+  admission control, cross-tenant plan sharing and batched dispatch.
 * :mod:`repro.workloads` / :mod:`repro.evaluation` — the paper's benchmarks and
   the harness regenerating its tables and figures.
 """

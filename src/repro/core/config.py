@@ -190,6 +190,19 @@ class ExecutionConfig:
             )
         return replace(self, **changes)
 
+    def plan_key(self) -> tuple:
+        """The hashable identity of this config *as seen by a Plan*.
+
+        Two configs with the same plan key produce behaviourally identical
+        plans for the same program, so cross-tenant plan caches (the
+        :mod:`repro.serve` layer) may share one compiled plan between them.
+        Session-level knobs that never reach the plan are excluded:
+        ``warm_start`` only controls context-manager pre-spawning.
+        """
+        return tuple(
+            getattr(self, f.name) for f in fields(self) if f.name != "warm_start"
+        )
+
     def resolved_overlap(self) -> bool:
         """The effective overlap flag (auto = on unless the tree walker runs)."""
         if self.overlap_halos is None:

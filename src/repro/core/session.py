@@ -374,10 +374,84 @@ class Session:
                 )
             return world
 
+    def execute_batch(
+        self,
+        prepared: Sequence["PreparedRun"],
+        timeout: Optional[float] = None,
+    ) -> None:
+        """Run many independent prepared runs in ONE rank-executor round.
+
+        The batched-dispatch primitive of the serving layer
+        (:mod:`repro.serve`): the persistent rank executor is partitioned
+        across jobs — each distributed thread-world job gets a private
+        :class:`SimulatedMPI` world of its own size, each local job one
+        executor slot — and a single ``futures_wait`` covers the whole round,
+        so N small jobs pay the dispatch latency (lock handoff, executor
+        round trip, join) once instead of N times.
+
+        Error isolation is per job: a failing rank records its exception on
+        *its* :class:`PreparedRun` (``finish()`` re-raises it) and never
+        touches sibling jobs; its own peer ranks terminate on their
+        communication deadlines.  Only rank threads that are still stuck
+        after the round deadline poison the executor, which is then discarded
+        exactly as a failed standalone run would.
+
+        Process-world jobs are not handled here — the serving layer routes
+        them through ``PoolManager.run_program_batch``, which partitions the
+        worker pool the same way.
+        """
+        self._ensure_open()
+        jobs = [job for job in prepared if job.runtime != "processes"]
+        if not jobs:
+            return
+        if timeout is None:
+            timeout = max(job.plan.config.timeout for job in jobs)
+        with self._thread_run_lock:
+            total = sum(job.size for job in jobs)
+            executor = self._acquire_rank_executor(total)
+            groups: list[list] = []
+            for job in jobs:
+                if job.distributed:
+                    world = SimulatedMPI(job.size, timeout=timeout)
+                    job.world = world
+                    futures = [
+                        executor.submit(job.body, world.communicator(rank))
+                        for rank in range(job.size)
+                    ]
+                else:
+                    futures = [executor.submit(job.body, None)]
+                groups.append(futures)
+            pending = futures_wait(
+                [future for futures in groups for future in futures],
+                timeout=timeout + 10.0,
+            )[1]
+            if pending:
+                # Stuck rank threads occupy the executor past the round:
+                # discard it (they die on their own communication timeouts)
+                # exactly as a failed standalone threads run would.
+                self._discard_rank_executor()
+            for job, futures in zip(jobs, groups):
+                for future in futures:
+                    if future in pending:
+                        if job.error is None:
+                            job.error = MPIRuntimeError(
+                                f"job rank(s) did not finish within {timeout}s "
+                                "(deadlock?)"
+                            )
+                        continue
+                    error = future.exception()
+                    if error is not None and job.error is None:
+                        job.error = error
+
 
 # ---------------------------------------------------------------------------
 # plans
 # ---------------------------------------------------------------------------
+
+def _field_signature(fields: Sequence[np.ndarray]) -> tuple:
+    """The layout key of a field list: per-array (shape, dtype)."""
+    return tuple((array.shape, array.dtype.str) for array in fields)
+
 
 class _RunBuffers:
     """Per-field-signature state a plan reuses across runs.
@@ -546,11 +620,8 @@ class Plan:
     def _release_buffers(self) -> None:
         buffers = self._buffers
         self._buffers = None
-        if buffers is None:
-            return
-        for rank_leases in buffers.leases:
-            for lease in rank_leases:
-                lease.release()
+        if buffers is not None:
+            _release_run_buffers(buffers)
 
     def warmup(self) -> None:
         """Pre-spawn this plan's runtime (workers, teams) and ship the program."""
@@ -638,6 +709,26 @@ class Plan:
             return None
         return cached
 
+    # -- batched dispatch (the repro.serve substrate) -------------------------
+    def prepare(
+        self,
+        fields: Sequence[np.ndarray],
+        scalars: Sequence[Any] = (),
+        buffers: Optional[_RunBuffers] = None,
+    ) -> "PreparedRun":
+        """Stage one run for a shared batched round (see :mod:`repro.serve`).
+
+        Unlike :meth:`run`, the returned :class:`PreparedRun` owns *its own*
+        buffer set, so many jobs of the same plan can be in flight inside one
+        :meth:`Session.execute_batch` round.  ``buffers`` recycles a previous
+        job's set when its signature still matches (the serving layer keeps a
+        small free list per plan).
+        """
+        if self._closed:
+            raise ExecutionError("plan is closed; create a new plan")
+        self.session._ensure_open()
+        return PreparedRun(self, fields, scalars, buffers)
+
     # -- the hot path ---------------------------------------------------------
     def run(
         self, fields: Sequence[np.ndarray], scalars: Sequence[Any] = ()
@@ -663,6 +754,11 @@ class Plan:
                     result = self._run_processes(fields, scalars)
                 else:
                     result = self._run_threads(fields, scalars)
+        self._finish_run(result)
+        return result
+
+    def _finish_run(self, result: ExecutionResult) -> None:
+        """Post-run bookkeeping shared by :meth:`run` and batched dispatch."""
         self.runs_completed += 1
         self.session.counters.runs_completed += 1
         metrics = self.session.metrics
@@ -670,7 +766,6 @@ class Plan:
         metrics.ingest_all(result.statistics, "exec.")
         if result.comm_statistics is not None:
             metrics.ingest(result.comm_statistics, "comm.")
-        return result
 
     def _run_local(
         self, fields: Sequence[np.ndarray], scalars: Sequence[Any]
@@ -680,6 +775,29 @@ class Plan:
             Tracer(config.trace, track="rank 0")
             if config.trace != "off" else None
         )
+        stats = self._execute_local(fields, scalars, tracer)
+        return self._attach_trace(
+            ExecutionResult(
+                statistics=[stats],
+                runtime="local",
+                runtime_requested="local",
+                threads_per_rank=config.threads_per_rank,
+            ),
+            [tracer],
+        )
+
+    def _execute_local(
+        self, fields: Sequence[Any], scalars: Sequence[Any],
+        tracer: Optional[Tracer],
+    ) -> ExecStatistics:
+        """Execute one non-distributed run in the calling thread.
+
+        The megakernel fast path (when codegen engaged) with the planned
+        interpreter fallback; shared verbatim by :meth:`_run_local` and the
+        serving layer's batched dispatch so both produce identical statistics
+        and metrics.
+        """
+        config = self.config
         if self._codegen_active and self._trace is not None:
             args = [*fields, *scalars]
             megakernel = self._megakernel_for(args, rank=0, size=1)
@@ -687,15 +805,7 @@ class Plan:
                 stats = ExecStatistics()
                 if megakernel.run(args, stats, None, tracer):
                     self.session.metrics.inc("megakernel.engaged")
-                    return self._attach_trace(
-                        ExecutionResult(
-                            statistics=[stats],
-                            runtime="local",
-                            runtime_requested="local",
-                            threads_per_rank=config.threads_per_rank,
-                        ),
-                        [tracer],
-                    )
+                    return stats
                 # Aliased buffers this run: bounce to the planned path.
             self.session.metrics.inc("megakernel.fallback")
         interpreter = Interpreter(
@@ -709,27 +819,36 @@ class Plan:
             tracer=tracer,
         )
         interpreter.call(self.function, *fields, *scalars)
-        return self._attach_trace(
-            ExecutionResult(
-                statistics=[interpreter.stats],
-                runtime="local",
-                runtime_requested="local",
-                threads_per_rank=config.threads_per_rank,
-            ),
-            [tracer],
-        )
+        return interpreter.stats
 
     def _buffers_for(self, fields: Sequence[np.ndarray]) -> _RunBuffers:
         """The cached slice plans and local buffers for these field shapes."""
-        signature = tuple((array.shape, array.dtype.str) for array in fields)
         buffers = self._buffers
-        if buffers is not None and buffers.signature == signature:
-            if self.runtime != "processes" or \
-                    buffers.pool_generation == self.session._field_pool.generation:
-                return buffers
+        if self._buffers_valid(buffers, fields):
+            return buffers
         self._release_buffers()
+        buffers = self._build_buffers(fields)
+        self._buffers = buffers
+        return buffers
+
+    def _buffers_valid(
+        self, buffers: Optional[_RunBuffers], fields: Sequence[np.ndarray]
+    ) -> bool:
+        """Whether a buffer set still matches these fields (and the pool)."""
+        if buffers is None or buffers.signature != _field_signature(fields):
+            return False
+        return self.runtime != "processes" or \
+            buffers.pool_generation == self.session._field_pool.generation
+
+    def _build_buffers(self, fields: Sequence[np.ndarray]) -> _RunBuffers:
+        """Fresh slice plans and local buffers for these field shapes.
+
+        Uncached — the serving layer builds one set per in-flight job so a
+        batch can run several jobs of the *same* plan concurrently; the plan's
+        own :meth:`_buffers_for` wraps this with its per-signature cache.
+        """
         buffers = _RunBuffers()
-        buffers.signature = signature
+        buffers.signature = _field_signature(fields)
         strategy, margin = self.strategy, self.margin
         halo_lower, halo_upper = self.halo_lower, self.halo_upper
         leased = self.runtime == "processes"
@@ -783,7 +902,6 @@ class Plan:
             if leased:
                 buffers.leases.append(lease_row)
                 buffers.specs.append(spec_row)
-        self._buffers = buffers
         return buffers
 
     def _scatter(self, buffers: _RunBuffers, fields: Sequence[np.ndarray]) -> None:
@@ -816,29 +934,79 @@ class Plan:
         size = self.strategy.rank_count
         statistics: list = [None] * size
         scalars = list(scalars)
-        team = self.session._team(config.threads_per_rank)
-        tracers: Optional[list[Tracer]] = None
-        if config.trace != "off":
-            tracers = [
-                Tracer(config.trace, track=f"rank {rank}") for rank in range(size)
-            ]
+        tracers = self._rank_tracers(size)
         engaged = [False] * size
+        megakernels = self._rank_megakernels(buffers, scalars, size)
+        body = self._rank_body(
+            buffers, scalars, statistics, engaged, tracers, megakernels
+        )
 
-        # Megakernels are emitted per rank (each rank's halo plan differs)
-        # against the plan's stable local buffers, before the world launches;
-        # if any rank cannot be emitted, every rank keeps the planned path so
-        # the SPMD communication pattern stays uniform.
-        megakernels: Optional[list[CompiledMegakernel]] = None
-        if self._codegen_active and self._trace is not None:
-            candidates = []
-            for rank in range(size):
-                args = [*buffers.locals[rank], *scalars]
-                megakernel = self._megakernel_for(args, rank, size)
-                if megakernel is None or not megakernel.matches(args):
-                    candidates = None
-                    break
-                candidates.append(megakernel)
-            megakernels = candidates
+        if self.one_shot:
+            # Legacy discipline: fresh daemon rank threads, one shared join
+            # deadline, fail-fast on the first rank error.
+            world = SimulatedMPI(size, timeout=config.timeout)
+            world.run_spmd(body, timeout=config.timeout)
+        else:
+            world = self.session._run_threads_world(size, body, config.timeout)
+        missing = [rank for rank, stats in enumerate(statistics) if stats is None]
+        if missing:
+            raise ExecutionError(
+                f"ranks {missing} finished without reporting statistics; "
+                "the SPMD execution did not complete"
+            )
+        self._ingest_engagement(engaged)
+        self._traced_move("run.gather", self._gather, buffers, fields)
+        return self._attach_trace(
+            self._result(list(statistics), world.statistics), tracers
+        )
+
+    def _rank_tracers(self, size: int) -> Optional[list[Tracer]]:
+        if self.config.trace == "off":
+            return None
+        return [
+            Tracer(self.config.trace, track=f"rank {rank}")
+            for rank in range(size)
+        ]
+
+    def _rank_megakernels(
+        self, buffers: _RunBuffers, scalars: Sequence[Any], size: int
+    ) -> Optional[list[CompiledMegakernel]]:
+        """Per-rank megakernels against these buffers, or None for all-planned.
+
+        Megakernels are emitted per rank (each rank's halo plan differs)
+        against the run's local buffers, before the world launches; if any
+        rank cannot be emitted, every rank keeps the planned path so the SPMD
+        communication pattern stays uniform.
+        """
+        if not (self._codegen_active and self._trace is not None):
+            return None
+        candidates: Optional[list[CompiledMegakernel]] = []
+        for rank in range(size):
+            args = [*buffers.locals[rank], *scalars]
+            megakernel = self._megakernel_for(args, rank, size)
+            if megakernel is None or not megakernel.matches(args):
+                candidates = None
+                break
+            candidates.append(megakernel)
+        return candidates
+
+    def _rank_body(
+        self,
+        buffers: _RunBuffers,
+        scalars: Sequence[Any],
+        statistics: list,
+        engaged: list,
+        tracers: Optional[list[Tracer]],
+        megakernels: Optional[list[CompiledMegakernel]],
+    ):
+        """One rank's SPMD body over these buffers (thread world).
+
+        Shared verbatim by :meth:`_run_threads` and the serving layer's
+        batched dispatch, so a batched job is bit-identical — fields,
+        statistics, megakernel engagement — to a standalone run.
+        """
+        config = self.config
+        team = self.session._team(config.threads_per_rank)
 
         def body(comm) -> None:
             tracer = tracers[comm.rank] if tracers is not None else None
@@ -865,27 +1033,13 @@ class Plan:
             )
             statistics[comm.rank] = interpreter.stats
 
-        if self.one_shot:
-            # Legacy discipline: fresh daemon rank threads, one shared join
-            # deadline, fail-fast on the first rank error.
-            world = SimulatedMPI(size, timeout=config.timeout)
-            world.run_spmd(body, timeout=config.timeout)
-        else:
-            world = self.session._run_threads_world(size, body, config.timeout)
-        missing = [rank for rank, stats in enumerate(statistics) if stats is None]
-        if missing:
-            raise ExecutionError(
-                f"ranks {missing} finished without reporting statistics; "
-                "the SPMD execution did not complete"
-            )
+        return body
+
+    def _ingest_engagement(self, engaged: Sequence[bool]) -> None:
         metrics = self.session.metrics
         metrics.inc("megakernel.engaged", sum(engaged))
         if self._codegen_active and not all(engaged):
-            metrics.inc("megakernel.fallback", size - sum(engaged))
-        self._traced_move("run.gather", self._gather, buffers, fields)
-        return self._attach_trace(
-            self._result(list(statistics), world.statistics), tracers
-        )
+            metrics.inc("megakernel.fallback", len(engaged) - sum(engaged))
 
     def _run_processes(
         self, fields: Sequence[np.ndarray], scalars: Sequence[Any]
@@ -905,6 +1059,18 @@ class Plan:
             if self.tracer is not None:
                 self.tracer.instant("worker.error")
             raise
+        statistics, comm, rank_traces = self._process_result(buffers, reports)
+        self._traced_move("run.gather", self._gather, buffers, fields)
+        return self._attach_trace(self._result(statistics, comm), rank_traces)
+
+    def _process_result(
+        self, buffers: _RunBuffers, reports: Sequence[Any]
+    ) -> tuple[list, CommStatistics, list]:
+        """Rank statistics + merged comm (with elision accounting) from reports.
+
+        Shared by :meth:`_run_processes` and the serving layer's process-world
+        batched dispatch so both account identically.
+        """
         ordered = sort_rank_stats(reports)
         statistics = [report.exec_stats for report in ordered]
         comm = merge_comm_statistics([report.comm_stats for report in ordered])
@@ -921,11 +1087,7 @@ class Plan:
         else:
             comm.shared_blocks_reused = buffers.fresh_reused
         buffers.runs += 1
-        self._traced_move("run.gather", self._gather, buffers, fields)
-        return self._attach_trace(
-            self._result(statistics, comm),
-            [report.trace for report in ordered],
-        )
+        return statistics, comm, [report.trace for report in ordered]
 
     @staticmethod
     def _lease_count(buffers: _RunBuffers) -> int:
@@ -984,6 +1146,158 @@ class Plan:
             threads_per_rank=self.config.threads_per_rank,
             runtime_requested=self.runtime_requested,
         )
+
+
+class PreparedRun:
+    """One job of a batched dispatch round, staged and self-contained.
+
+    Built by :meth:`Plan.prepare`.  Construction performs the per-job front
+    half of :meth:`Plan.run` — argument validation, buffer building (fresh or
+    recycled, *never* the plan's shared cache), scatter, per-rank megakernel
+    lookup and body construction — so a batch round only has to launch
+    bodies.  After the round, :meth:`finish` replays the back half: missing-
+    statistics checks, megakernel-engagement accounting, gather, trace
+    attachment and the session metric ingest.  Every step calls the same
+    ``Plan`` helpers the standalone path uses, so a batched job is
+    bit-identical — fields, ``ExecStatistics``, ``CommStatistics`` — to the
+    same job on a standalone plan.
+
+    Thread-world (and local) jobs carry per-rank ``body(comm)`` callables for
+    :meth:`Session.execute_batch`; process-world jobs carry the leased
+    shared-memory ``specs`` for ``PoolManager.run_program_batch``, with the
+    worker reports assigned to :attr:`reports` before ``finish()``.
+    """
+
+    def __init__(
+        self,
+        plan: Plan,
+        fields: Sequence[np.ndarray],
+        scalars: Sequence[Any],
+        buffers: Optional[_RunBuffers] = None,
+    ):
+        self.plan = plan
+        self.fields = list(fields)
+        self.scalars = list(scalars)
+        self.distributed = plan.distributed
+        self.runtime = plan.runtime
+        self.size = plan.strategy.rank_count if plan.distributed else 1
+        #: The job's SimulatedMPI world (thread-world jobs; set at dispatch).
+        self.world: Optional[SimulatedMPI] = None
+        #: Worker reports (process-world jobs; set by the batch runner).
+        self.reports: Optional[list] = None
+        #: The first error of any rank of this job (leaves siblings alone).
+        self.error: Optional[BaseException] = None
+        self.buffers: Optional[_RunBuffers] = None
+
+        expected = len(plan._func_op.body.block.args)
+        provided = len(self.fields) + len(self.scalars)
+        if provided != expected:
+            raise ExecutionError(
+                f"{plan.function} expects {expected} arguments, got {provided}"
+            )
+        self.statistics: list = [None] * self.size
+        self.engaged = [False] * self.size
+        self.tracers = plan._rank_tracers(self.size)
+
+        if not self.distributed:
+            tracer = self.tracers[0] if self.tracers is not None else None
+
+            def local_body(comm=None) -> None:
+                self.statistics[0] = plan._execute_local(
+                    self.fields, self.scalars, tracer
+                )
+
+            self.body = local_body
+            return
+
+        for index, array in enumerate(self.fields):
+            if not isinstance(array, np.ndarray):
+                raise ExecutionError(
+                    f"distributed field {index} is {type(array).__name__}, "
+                    "not a numpy array; pass scalar arguments (e.g. the "
+                    "timestep count) via the scalars sequence"
+                )
+        if buffers is not None and plan._buffers_valid(buffers, self.fields):
+            self.buffers = buffers
+        else:
+            if buffers is not None:
+                _release_run_buffers(buffers)
+            self.buffers = plan._build_buffers(self.fields)
+        plan._scatter(self.buffers, self.fields)
+        if self.runtime == "processes":
+            self.body = None
+        else:
+            megakernels = plan._rank_megakernels(
+                self.buffers, self.scalars, self.size
+            )
+            self.body = plan._rank_body(
+                self.buffers, self.scalars, self.statistics, self.engaged,
+                self.tracers, megakernels,
+            )
+
+    def finish(self) -> ExecutionResult:
+        """Gather and assemble the result; raises the job's recorded error."""
+        if self.error is not None:
+            raise self.error
+        plan = self.plan
+        if not self.distributed:
+            stats = self.statistics[0]
+            if stats is None:
+                raise ExecutionError(
+                    "the job finished without reporting statistics; "
+                    "the batched execution did not complete"
+                )
+            result = plan._attach_trace(
+                ExecutionResult(
+                    statistics=[stats],
+                    runtime="local",
+                    runtime_requested="local",
+                    threads_per_rank=plan.config.threads_per_rank,
+                ),
+                self.tracers,
+            )
+        elif self.runtime == "processes":
+            if self.reports is None:
+                raise ExecutionError(
+                    "the job finished without worker reports; "
+                    "the batched execution did not complete"
+                )
+            statistics, comm, rank_traces = plan._process_result(
+                self.buffers, self.reports
+            )
+            plan._traced_move("run.gather", plan._gather, self.buffers, self.fields)
+            result = plan._attach_trace(plan._result(statistics, comm), rank_traces)
+        else:
+            missing = [
+                rank for rank, stats in enumerate(self.statistics)
+                if stats is None
+            ]
+            if missing:
+                raise ExecutionError(
+                    f"ranks {missing} finished without reporting statistics; "
+                    "the SPMD execution did not complete"
+                )
+            plan._ingest_engagement(self.engaged)
+            plan._traced_move("run.gather", plan._gather, self.buffers, self.fields)
+            result = plan._attach_trace(
+                plan._result(list(self.statistics), self.world.statistics),
+                self.tracers,
+            )
+        plan._finish_run(result)
+        return result
+
+    def release(self) -> None:
+        """Release leased shared blocks (no-op for thread-world buffers)."""
+        buffers = self.buffers
+        self.buffers = None
+        if buffers is not None:
+            _release_run_buffers(buffers)
+
+
+def _release_run_buffers(buffers: _RunBuffers) -> None:
+    for rank_leases in buffers.leases:
+        for lease in rank_leases:
+            lease.release()
 
 
 # ---------------------------------------------------------------------------

@@ -33,6 +33,17 @@ class MetricsRegistry:
     def get(self, name: str, default: int = 0) -> int:
         return self._counters.get(name, default)
 
+    def record_peak(self, name: str, value: int) -> None:
+        """Keep the high-water mark of ``value`` under ``name``.
+
+        Unlike :meth:`inc` the stored number is a *gauge peak*, not a running
+        sum — the serving layer uses it for queue-depth and batch-occupancy
+        maxima (``serve.queue_depth_peak``, ``serve.batch_occupancy_peak``).
+        """
+        current = self._counters.get(name)
+        if current is None or value > current:
+            self._counters[name] = value
+
     def merge_counts(self, counts: Dict[str, int]) -> None:
         for name, value in counts.items():
             self.inc(name, value)

@@ -104,6 +104,24 @@ class _PoolReplacedError(Exception):
     acquired it; the caller should fetch the current pool and retry."""
 
 
+@dataclass
+class PoolBatchJob:
+    """One job of a batched pooled round (``run_program_batch``).
+
+    ``field_specs[rank]`` are the pre-scattered shared-memory specs of that
+    rank's fields; the job occupies ``len(field_specs)`` contiguous workers.
+    """
+
+    program: Any
+    function_name: str
+    backend: str
+    field_specs: Sequence[Sequence["SharedFieldSpec"]]
+    scalars: Sequence[Any]
+    threads_per_rank: int = 1
+    codegen: str = "planned"
+    trace: str = "off"
+
+
 @contextlib.contextmanager
 def _deep_recursion(limit: int = 10_000):
     """Temporarily raise the recursion limit for (un)pickling IR modules.
@@ -149,7 +167,7 @@ def _worker_main(worker_index: int, commands, results, inboxes) -> None:
                 programs[key] = pickle.loads(payload)
             continue
         if kind == "run":
-            (_, run_id, key, rank, size, function_name, backend,
+            (_, run_id, key, rank, size, base, function_name, backend,
              field_specs, scalars, timeout, threads_per_rank, codegen,
              trace) = command
             fields: list[SharedField] = []
@@ -162,8 +180,13 @@ def _worker_main(worker_index: int, commands, results, inboxes) -> None:
                     else program.compiled_kernel(function_name)
                 )
                 fields = [SharedField.attach(spec) for spec in field_specs]
+                # ``base`` partitions the pool across the jobs of one batched
+                # round: this rank's world is the ``size`` workers starting at
+                # ``base``, so its job-local inbox indices stay 0..size-1 and
+                # concurrent jobs can never cross-deliver.
                 comm = ProcessRankCommunicator(
-                    rank, size, inboxes, run_id=run_id, timeout=timeout
+                    rank, size, inboxes[base:base + size],
+                    run_id=run_id, timeout=timeout
                 )
                 args = [field.array for field in fields] + list(scalars)
                 # Spans are recorded against this process's monotonic clock;
@@ -316,8 +339,8 @@ class WorkerPool:
             process.start()
 
     # -- program shipping -----------------------------------------------------
-    def ship_program(self, program, ranks: int) -> int:
-        """Serialize ``program`` once and send it to the first ``ranks`` workers.
+    def ship_program(self, program, ranks: int, base: int = 0) -> int:
+        """Serialize ``program`` once and send it to ``ranks`` workers at ``base``.
 
         The key is stashed on the program object, so re-running the same
         compiled program never re-pickles or re-sends it.
@@ -327,7 +350,7 @@ class WorkerPool:
             key = next(_PROGRAM_KEYS)
             program._pool_program_key = key
         payload: Optional[bytes] = None
-        for index in range(ranks):
+        for index in range(base, base + ranks):
             if key in self._shipped[index]:
                 continue
             if payload is None:
@@ -384,13 +407,131 @@ class WorkerPool:
             scalars = list(scalar_arguments)
             for rank in range(size):
                 self._commands[rank].put(
-                    ("run", run_id, key, rank, size, function_name, backend,
+                    ("run", run_id, key, rank, size, 0, function_name, backend,
                      list(field_specs[rank]), scalars, timeout,
                      threads_per_rank, codegen, trace)
                 )
             reports = self._collect(run_id, size, timeout)
         return [RankStats(rank, exec_stats, comm_stats, trace=trace_record)
                 for rank, exec_stats, comm_stats, trace_record in reports]
+
+    def run_program_batch(
+        self, jobs: Sequence["PoolBatchJob"], timeout: float
+    ) -> list[Any]:
+        """Run several independent SPMD jobs in ONE pooled round.
+
+        The pool's workers are partitioned across the jobs — job ``i`` of
+        ``r_i`` ranks owns the contiguous worker range starting at
+        ``sum(r_0..r_{i-1})`` and communicates only within it (its
+        communicator sees a job-local inbox window, see ``_worker_main``) —
+        so many small runs share one dispatch/collect round instead of
+        serializing.  Returns one entry per job, in order: a ``RankStats``
+        list on success, or the :class:`WorkerError` that failed the job.
+        A failed job never poisons its siblings' results, but it does retire
+        the pool after the round (its peer ranks may still be draining their
+        communication timeouts), matching the single-run discipline.
+        """
+        total = sum(len(job.field_specs) for job in jobs)
+        if total > self.size:
+            raise WorkerError(
+                f"pool of {self.size} workers cannot host {total} ranks "
+                f"across {len(jobs)} batched jobs"
+            )
+        with self._run_lock:
+            if not self.alive:
+                raise _PoolReplacedError
+            self._require_healthy()
+            run_ids: list[int] = []
+            sizes: list[int] = []
+            base = 0
+            for job in jobs:
+                size = len(job.field_specs)
+                key = self.ship_program(job.program, size, base)
+                run_id = next(self._run_ids)
+                scalars = list(job.scalars)
+                for rank in range(size):
+                    self._commands[base + rank].put(
+                        ("run", run_id, key, rank, size, base,
+                         job.function_name, job.backend,
+                         list(job.field_specs[rank]), scalars, timeout,
+                         job.threads_per_rank, job.codegen, job.trace)
+                    )
+                run_ids.append(run_id)
+                sizes.append(size)
+                base += size
+            outcomes = self._collect_batch(run_ids, sizes, timeout)
+        results: list[Any] = []
+        for outcome in outcomes:
+            if isinstance(outcome, WorkerError):
+                results.append(outcome)
+            else:
+                results.append([
+                    RankStats(rank, exec_stats, comm_stats, trace=trace_record)
+                    for rank, exec_stats, comm_stats, trace_record in outcome
+                ])
+        return results
+
+    def _collect_batch(
+        self, run_ids: Sequence[int], sizes: Sequence[int], timeout: float
+    ) -> list[Any]:
+        """One report list per job (or its WorkerError), demuxed by run id.
+
+        A job whose rank reports an error is failed immediately — its
+        remaining ranks are doomed to their communication timeouts and their
+        late reports are ignored by run-id filtering — while sibling jobs
+        keep collecting.  Any failure (or a deadline) retires the pool after
+        the round, like :meth:`_collect`.
+        """
+        deadline = time.monotonic() + timeout + 10.0
+        by_run = {run_id: index for index, run_id in enumerate(run_ids)}
+        reports: list[list] = [[] for _ in run_ids]
+        outcomes: list[Any] = [None] * len(run_ids)
+        remaining = set(range(len(run_ids)))
+
+        def _fail(index: int, error: WorkerError) -> None:
+            outcomes[index] = error
+            remaining.discard(index)
+
+        while remaining:
+            budget = deadline - time.monotonic()
+            if budget <= 0:
+                for index in sorted(remaining):
+                    _fail(index, WorkerError(
+                        f"batched job {index} did not report within "
+                        f"{timeout}s (deadlock?)"
+                    ))
+                break
+            try:
+                message = self._results.get(timeout=min(budget, 0.5))
+            except queue_module.Empty:
+                dead = self.reap_dead_workers()
+                if dead:
+                    for index in sorted(remaining):
+                        _fail(index, WorkerError(
+                            f"worker processes {dead} died mid-batch"
+                        ))
+                    break
+                continue
+            tag, reported_run, rank = message[0], message[1], message[2]
+            index = by_run.get(reported_run)
+            if index is None or index not in remaining:
+                continue  # stale report from a failed earlier run or job
+            if tag == "error":
+                failure = message[3]
+                if isinstance(failure, WorkerFailure):
+                    error = WorkerError(failure.describe())
+                    error.failure = failure
+                else:  # pragma: no cover - legacy payload shape
+                    error = WorkerError(f"rank {rank} failed:\n{failure}")
+                _fail(index, error)
+                continue
+            reports[index].append((rank, message[3], message[4], message[5]))
+            if len(reports[index]) == sizes[index]:
+                outcomes[index] = reports[index]
+                remaining.discard(index)
+        if any(isinstance(outcome, WorkerError) for outcome in outcomes):
+            self.shutdown()
+        return outcomes
 
     def run_spmd(
         self,
@@ -582,6 +723,23 @@ class PoolManager:
                     scalar_arguments, timeout, threads_per_rank, codegen,
                     trace,
                 )
+            except _PoolReplacedError:
+                continue  # the pool was grown, replaced, or had dead workers
+
+    def run_program_batch(
+        self, jobs: Sequence[PoolBatchJob], timeout: float
+    ) -> list[Any]:
+        """Run several independent jobs in one pooled round (see the pool).
+
+        The pool is grown (by replacement) to the batch's total rank count;
+        per-job outcomes are returned in order — ``RankStats`` lists for
+        successes, :class:`WorkerError` instances for failed jobs.
+        """
+        total = sum(len(job.field_specs) for job in jobs)
+        for _ in _pool_attempts():
+            pool = self.acquire(total)
+            try:
+                return pool.run_program_batch(jobs, timeout)
             except _PoolReplacedError:
                 continue  # the pool was grown, replaced, or had dead workers
 

@@ -1,0 +1,40 @@
+"""repro.serve — the multi-tenant serving layer over one warm Session.
+
+Public surface::
+
+    from repro.serve import Server
+
+    with Server(ExecutionConfig(runtime="threads")) as server:
+        handle = server.submit(program, fields, scalars, tenant="alice")
+        result = handle.result(timeout=30.0)
+        print(server.tenant("alice").exec_statistics())
+
+See :class:`Server` for the plan cache / admission control / batched
+dispatch design, :class:`JobHandle` for the future semantics, and
+:class:`TenantStats` for per-tenant accounting.
+"""
+
+from .errors import (
+    JobCancelledError,
+    QueueFullError,
+    ServeError,
+    ServerClosedError,
+)
+from .job import CANCELLED, DONE, FAILED, PENDING, RUNNING, JobHandle
+from .server import Server
+from .stats import TenantStats
+
+__all__ = [
+    "Server",
+    "JobHandle",
+    "TenantStats",
+    "ServeError",
+    "QueueFullError",
+    "ServerClosedError",
+    "JobCancelledError",
+    "PENDING",
+    "RUNNING",
+    "DONE",
+    "FAILED",
+    "CANCELLED",
+]

@@ -1,0 +1,36 @@
+"""Typed errors of the serving layer.
+
+Every rejection the :class:`~repro.serve.Server` can produce is a distinct
+exception type, so clients can branch on *why* a submission failed without
+string-matching — the admission-control contract is that a full queue
+rejects **fast** with :class:`QueueFullError` instead of blocking the
+caller until capacity frees up.
+"""
+
+from __future__ import annotations
+
+
+class ServeError(Exception):
+    """Base class of every serving-layer error."""
+
+
+class QueueFullError(ServeError):
+    """The server's bounded run queue is at capacity.
+
+    Raised synchronously by :meth:`~repro.serve.Server.submit` — the caller
+    gets backpressure immediately and can retry, shed load, or route the job
+    elsewhere.  Nothing was enqueued.
+    """
+
+
+class ServerClosedError(ServeError):
+    """The server is closed (or closing) and accepts no new jobs."""
+
+
+class JobCancelledError(ServeError):
+    """The job was cancelled before it started running.
+
+    Raised by :meth:`~repro.serve.JobHandle.result` on a handle whose
+    :meth:`~repro.serve.JobHandle.cancel` succeeded (or that the server
+    dropped during a non-draining close).
+    """

@@ -1,0 +1,55 @@
+"""Per-tenant statistics: one metrics registry per tenant.
+
+Every completed job's ``ExecStatistics`` (per rank) and ``CommStatistics``
+are ingested into the submitting tenant's own
+:class:`~repro.obs.MetricsRegistry`, exactly the way the session-wide
+registry ingests them — plain integer sums over ``dataclasses.fields`` in
+rank order.  Materialising the dataclasses back out
+(:meth:`TenantStats.exec_statistics` / :meth:`TenantStats.comm_statistics`)
+is therefore **bit-identical** to merging the same runs on a standalone
+:class:`~repro.core.session.Session`, which the serve tests assert.
+"""
+
+from __future__ import annotations
+
+from ..obs import MetricsRegistry
+
+
+class TenantStats:
+    """Accumulated execution/communication counters of one tenant."""
+
+    __slots__ = ("tenant", "registry", "jobs_completed", "jobs_failed")
+
+    def __init__(self, tenant: str):
+        self.tenant = tenant
+        #: The tenant's private counter namespace (``exec.*``, ``comm.*``,
+        #: ``runs``); snapshot with ``registry.snapshot()``.
+        self.registry = MetricsRegistry()
+        self.jobs_completed = 0
+        self.jobs_failed = 0
+
+    def ingest(self, result) -> None:
+        """Fold one completed job's ``ExecutionResult`` into the registry."""
+        self.registry.inc("runs")
+        self.registry.ingest_all(result.statistics, "exec.")
+        if result.comm_statistics is not None:
+            self.registry.ingest(result.comm_statistics, "comm.")
+        self.jobs_completed += 1
+
+    def exec_statistics(self):
+        """The tenant's summed ``ExecStatistics`` across all completed jobs."""
+        return self.registry.as_exec_statistics()
+
+    def comm_statistics(self):
+        """The tenant's summed ``CommStatistics`` across all completed jobs."""
+        return self.registry.as_comm_statistics()
+
+    @property
+    def runs(self) -> int:
+        return self.registry.get("runs")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"TenantStats({self.tenant!r}, runs={self.runs}, "
+            f"failed={self.jobs_failed})"
+        )
